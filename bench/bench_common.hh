@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table benches: a scaled-down
+ * device configuration (the paper's 2 TB SSD with 1 GB DRAM shrinks
+ * to a 2 GB SSD with a proportional DRAM budget so every figure runs
+ * in seconds), a tiny flag parser, and the run helper every bench
+ * uses. Ratios, not absolute numbers, are the reproduction target.
+ */
+
+#ifndef LEAFTL_BENCH_BENCH_COMMON_HH
+#define LEAFTL_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/runner.hh"
+#include "sim/reporter.hh"
+#include "ssd/ssd.hh"
+#include "workload/app_models.hh"
+#include "workload/msr_models.hh"
+
+namespace leaftl
+{
+namespace bench
+{
+
+/** Scale knobs shared by all benches (override via flags). */
+struct BenchScale
+{
+    uint64_t requests = 200'000;
+    uint64_t working_set_pages = 96 * 1024; ///< 384 MB at 4 KB pages.
+    /** Fraction of host pages prefilled to warm the device (GC runs). */
+    double prefill_frac = 0.85;
+    /**
+     * 0 = derive from the working set: the paper's regime has the
+     * page-level mapping table ~4x the SSD DRAM, so DRAM defaults to
+     * half the DFTL table size (mapping pressure is what Figs. 16/21/
+     * 22 measure). Override with --dram-mb= for absolute sizes.
+     */
+    uint64_t dram_bytes = 0;
+    uint32_t gamma = 0;
+    bool fast = false;
+
+    uint64_t
+    dramBytes() const
+    {
+        if (dram_bytes > 0)
+            return dram_bytes;
+        return std::max<uint64_t>(128ull << 10,
+                                  working_set_pages * kMapEntryBytes / 2);
+    }
+};
+
+/** Parse --requests= --ws= --dram-mb= --gamma= --fast and one free arg. */
+inline BenchScale
+parseScale(int argc, char **argv, std::string *free_arg = nullptr)
+{
+    BenchScale s;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--requests=", 0) == 0) {
+            s.requests = std::stoull(arg.substr(11));
+        } else if (arg.rfind("--ws=", 0) == 0) {
+            s.working_set_pages = std::stoull(arg.substr(5));
+        } else if (arg.rfind("--dram-mb=", 0) == 0) {
+            s.dram_bytes = std::stoull(arg.substr(10)) << 20;
+        } else if (arg.rfind("--gamma=", 0) == 0) {
+            s.gamma = static_cast<uint32_t>(std::stoul(arg.substr(8)));
+        } else if (arg == "--fast") {
+            s.fast = true;
+            s.requests /= 10;
+            s.working_set_pages /= 4;
+        } else if (free_arg && arg.rfind("--", 0) != 0) {
+            *free_arg = arg;
+        } else if (free_arg && arg.rfind("--", 0) == 0) {
+            *free_arg = arg; // Benches with their own --axis/--setting.
+        }
+    }
+    return s;
+}
+
+/**
+ * The scaled device (paper Table 1, shrunk ~1000x). The flash
+ * capacity is derived from the working set -- the workload occupies
+ * ~75% of the host space, so its own churn keeps GC busy and the
+ * measured mapping table reflects the workload's access pattern (as
+ * in the paper, where trace footprints dwarf the warm-up).
+ */
+inline SsdConfig
+benchConfig(FtlKind ftl, const BenchScale &s,
+            DramPolicy policy = DramPolicy::MappingFirst,
+            uint32_t page_size = 4096)
+{
+    SsdConfig cfg;
+    cfg.geometry.num_channels = 16;
+    cfg.geometry.pages_per_block = 256;
+    cfg.geometry.page_size = page_size;
+    cfg.geometry.oob_size = 128;
+
+    // Size the device so host pages ~= ws * 4/3.
+    const uint64_t host_pages = s.working_set_pages * 4 / 3;
+    const uint64_t raw_pages =
+        static_cast<uint64_t>(host_pages / (1.0 - 0.20)) + 1;
+    const uint64_t blocks =
+        ceilDiv(raw_pages, cfg.geometry.pages_per_block);
+    cfg.geometry.blocks_per_channel = static_cast<uint32_t>(
+        std::max<uint64_t>(8, ceilDiv(blocks, cfg.geometry.num_channels)));
+
+    cfg.ftl = ftl;
+    cfg.gamma = s.gamma;
+    cfg.dram_bytes = s.dramBytes();
+    cfg.dram_policy = policy;
+    cfg.write_buffer_bytes = 8ull << 20;
+    // The paper compacts every 1M writes on a 512M-page device; scale
+    // the interval with the device so compaction fires at the same
+    // relative frequency.
+    cfg.compaction_interval =
+        std::max<uint64_t>(s.working_set_pages / 8, 2048);
+    return cfg;
+}
+
+/** Build the named workload generator (MSR/FIU or app model). */
+inline std::unique_ptr<MixWorkload>
+makeNamedWorkload(const std::string &workload, const BenchScale &s)
+{
+    for (const auto &n : appWorkloadNames()) {
+        if (n == workload)
+            return makeAppWorkload(workload, s.working_set_pages,
+                                   s.requests);
+    }
+    return makeMsrWorkload(workload, s.working_set_pages, s.requests);
+}
+
+/**
+ * Warm the device (mixed pattern over the working-set region) and
+ * replay the named workload on @a ssd.
+ */
+inline RunResult
+replayNamed(Ssd &ssd, const std::string &workload, const BenchScale &s)
+{
+    auto wl = makeNamedWorkload(workload, s);
+    RunOptions opts;
+    opts.prefill_pages = s.working_set_pages;
+    opts.mixed_prefill = true;
+    return Runner::replay(ssd, *wl, opts);
+}
+
+/** Replay a named MSR/FIU or app workload; returns the run metrics. */
+inline RunResult
+runWorkload(const std::string &workload, FtlKind ftl, const BenchScale &s,
+            DramPolicy policy = DramPolicy::MappingFirst,
+            uint32_t page_size = 4096)
+{
+    SsdConfig cfg = benchConfig(ftl, s, policy, page_size);
+    Ssd ssd(cfg);
+    return replayNamed(ssd, workload, s);
+}
+
+/** Header every bench prints. */
+inline void
+banner(const char *fig, const char *what)
+{
+    std::printf("=== %s: %s ===\n", fig, what);
+    std::printf("(scaled simulation; compare ratios/shapes with the "
+                "paper, not absolute values)\n\n");
+}
+
+} // namespace bench
+} // namespace leaftl
+
+#endif // LEAFTL_BENCH_BENCH_COMMON_HH

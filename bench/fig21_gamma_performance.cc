@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 21: storage performance for gamma in {0, 1, 4, 16},
+ * normalized to gamma = 0 (lower is better). The paper reports a 1.3x
+ * improvement at gamma = 16 on the simulator (1.2x on the real SSD):
+ * the smaller table buys more data cache, outweighing the bounded
+ * misprediction cost.
+ */
+
+#include "bench_common.hh"
+
+using namespace leaftl;
+
+int
+main(int argc, char **argv)
+{
+    const auto base_scale = bench::parseScale(argc, argv);
+    bench::banner("Figure 21", "performance vs gamma (normalized to 0)");
+
+    const std::vector<uint32_t> gammas = {0, 1, 4, 16};
+    std::vector<std::string> headers = {"Workload"};
+    for (uint32_t g : gammas)
+        headers.push_back("g=" + std::to_string(g));
+    TextTable table(headers);
+
+    std::vector<std::string> all = msrWorkloadNames();
+    for (const auto &n : appWorkloadNames())
+        all.push_back(n);
+
+    std::vector<double> sums(gammas.size(), 0.0);
+    for (const auto &name : all) {
+        // The paper's gamma benefit appears when DRAM is scarce
+        // relative to the mapping table (their 2 TB SSD: 4 GB table
+        // vs 1 GB DRAM). Calibrate per workload: measure the gamma=0
+        // table and give the device ~60% of it, so the smaller tables
+        // of larger gammas cut group-cache misses (§3.8).
+        bench::BenchScale probe = base_scale;
+        probe.gamma = 0;
+        const uint64_t table0 =
+            bench::runWorkload(name, FtlKind::LeaFTL, probe)
+                .mapping_bytes;
+
+        std::vector<double> lat;
+        for (uint32_t g : gammas) {
+            bench::BenchScale scale = base_scale;
+            scale.gamma = g;
+            scale.dram_bytes =
+                std::max<uint64_t>(128ull << 10, table0 * 6 / 10);
+            lat.push_back(bench::runWorkload(name, FtlKind::LeaFTL, scale,
+                                             DramPolicy::MappingFirst)
+                              .avg_latency_us);
+        }
+        std::vector<std::string> row = {name};
+        for (size_t i = 0; i < gammas.size(); i++) {
+            const double norm = lat[i] / lat[0];
+            sums[i] += norm;
+            row.push_back(TextTable::fmt(norm, 3));
+        }
+        table.addRow(row);
+    }
+    table.print();
+
+    std::printf("\nAverage normalized latency:");
+    for (size_t i = 0; i < gammas.size(); i++)
+        std::printf(" g=%u: %.3f", gammas[i], sums[i] / all.size());
+    std::printf("\nPaper: gamma=16 improves performance ~1.3x over "
+                "gamma=0 (normalized ~0.77) when DRAM is scarce.\n");
+    return 0;
+}

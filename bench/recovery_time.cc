@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Recovery-time study (§5 "Recovery of Learned Index Segments"): the
+ * paper reboots its prototype after 0.5-3 h of TPCC and measures
+ * ~15.8 min average recovery, dominated by the channel-parallel flash
+ * scan (~70 MB/s per channel); reconstructing the recently learned
+ * segments takes only ~101 ms. This bench varies how much work
+ * happens after the last mapping-table snapshot and reports the
+ * simulated scan time and the relearning volume.
+ */
+
+#include "bench_common.hh"
+
+using namespace leaftl;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    bench::banner("Recovery", "crash-recovery cost vs snapshot age");
+
+    TextTable table({"Writes since snapshot", "Scanned blocks",
+                     "Scanned pages", "Relearned mappings",
+                     "Recovery time (ms)"});
+
+    for (double frac : {0.05, 0.25, 0.5, 1.0}) {
+        SsdConfig cfg = bench::benchConfig(FtlKind::LeaFTL, scale);
+        Ssd ssd(cfg);
+        auto wl = bench::makeNamedWorkload("TPCC", scale);
+
+        // Warm up, snapshot, then run the post-snapshot phase.
+        Runner::prefillMixed(ssd, scale.working_set_pages);
+        Tick now = 0;
+        ssd.persistMapping(now);
+
+        const uint64_t post_writes =
+            static_cast<uint64_t>(scale.requests * frac);
+        IoRequest req;
+        uint64_t writes = 0;
+        while (writes < post_writes && wl->next(req)) {
+            if (req.op != Op::Write)
+                continue;
+            for (uint32_t i = 0; i < req.npages; i++) {
+                now += ssd.write(
+                    (req.lpa + i) %
+                        static_cast<Lpa>(scale.working_set_pages),
+                    now);
+                writes++;
+            }
+        }
+        ssd.drainBuffer(now);
+
+        const RecoveryStats rec = ssd.crashAndRecover(now);
+        table.addRow({std::to_string(writes),
+                      std::to_string(rec.scanned_blocks),
+                      std::to_string(rec.scanned_pages),
+                      std::to_string(rec.relearned_mappings),
+                      TextTable::fmt(rec.recovery_time / 1.0e6, 1)});
+    }
+    table.print();
+    std::printf("\nPaper: recovery is dominated by the channel-parallel "
+                "scan of blocks written since the snapshot; segment "
+                "reconstruction itself is ~100 ms. Frequent snapshots "
+                "bound the scan.\n");
+    return 0;
+}

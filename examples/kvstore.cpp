@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Key-value store example: a small log-structured KV store (hash
+ * index in memory, values appended to a page log, periodic
+ * compaction) running on top of the simulated SSD, comparing DFTL,
+ * SFTL, and LeaFTL under a YCSB-style zipfian workload. Mirrors the
+ * paper's motivation that data-intensive applications benefit from a
+ * memory-efficient FTL (§4.3).
+ *
+ *   ./kvstore [ops]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "ssd/ssd.hh"
+#include "util/rng.hh"
+#include "workload/zipf.hh"
+
+using namespace leaftl;
+
+namespace
+{
+
+/** Append-only KV store over the SSD block interface. */
+class KvStore
+{
+  public:
+    explicit KvStore(Ssd &ssd)
+        : ssd_(ssd), capacity_(ssd.config().hostPages())
+    {}
+
+    void
+    put(uint64_t key, Tick &now)
+    {
+        // Append the value to the log head (one page per value here).
+        const Lpa lpa = static_cast<Lpa>(log_head_ % capacity_);
+        log_head_++;
+        now += ssd_.write(lpa, now);
+        index_[key] = lpa;
+        // Crude log compaction: when the log wraps, stale pages are
+        // simply overwritten (the FTL's GC handles the rest).
+    }
+
+    bool
+    get(uint64_t key, Tick &now)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end())
+            return false;
+        now += ssd_.read(it->second, now);
+        return true;
+    }
+
+  private:
+    Ssd &ssd_;
+    uint64_t capacity_;
+    uint64_t log_head_ = 0;
+    std::unordered_map<uint64_t, Lpa> index_;
+};
+
+SsdConfig
+makeConfig(FtlKind kind)
+{
+    SsdConfig cfg;
+    cfg.geometry.num_channels = 8;
+    cfg.geometry.blocks_per_channel = 96;
+    cfg.geometry.pages_per_block = 128;
+    cfg.ftl = kind;
+    // Scarce DRAM (the paper's regime): the page-level table would
+    // need ~512 KiB, so mapping savings become data cache.
+    cfg.dram_bytes = 192ull << 10;
+    cfg.dram_policy = DramPolicy::CacheFloor20;
+    cfg.write_buffer_bytes = 128ull * 4096;
+    cfg.compaction_interval = 20000;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const uint64_t ops = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                  : 200000;
+    const uint64_t keys = 20000;
+
+    std::printf("KV store, %llu ops (50%% get / 50%% put), %llu keys, "
+                "zipf 0.9\n\n",
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(keys));
+    std::printf("%-8s %14s %14s %14s %10s\n", "FTL", "avg get (us)",
+                "avg put (us)", "mapping (KiB)", "WAF");
+
+    for (FtlKind kind :
+         {FtlKind::DFTL, FtlKind::SFTL, FtlKind::LeaFTL}) {
+        Ssd ssd(makeConfig(kind));
+        KvStore kv(ssd);
+        Rng rng(2024);
+        ZipfGenerator zipf(keys, 0.9);
+
+        Tick now = 0;
+        // Load phase.
+        for (uint64_t k = 0; k < keys; k++)
+            kv.put(k, now);
+
+        // Mixed phase.
+        double get_lat = 0, put_lat = 0;
+        uint64_t gets = 0, puts = 0;
+        for (uint64_t i = 0; i < ops; i++) {
+            const uint64_t key = zipf.next(rng);
+            const Tick before = now;
+            if (rng.nextBool(0.5)) {
+                kv.get(key, now);
+                get_lat += static_cast<double>(now - before);
+                gets++;
+            } else {
+                kv.put(key, now);
+                put_lat += static_cast<double>(now - before);
+                puts++;
+            }
+        }
+        ssd.drainBuffer(now);
+
+        std::printf("%-8s %14.1f %14.1f %14.1f %10.2f\n",
+                    ssd.ftl().name(), get_lat / gets / 1000.0,
+                    put_lat / puts / 1000.0,
+                    ssd.ftl().fullMappingBytes() / 1024.0,
+                    ssd.stats().waf());
+    }
+    std::printf("\nExpected: LeaFTL's mapping is the smallest; the freed "
+                "DRAM caches more values, so gets are fastest.\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Transactional database example: a toy B+-tree-style page store
+ * (fixed-fanout page tree, leaf updates, redo log appends) driving
+ * the SSD with a TPCC-like transaction mix, comparing the three FTLs
+ * (paper §4.3, Table 2).
+ *
+ *   ./oltp_db [txns]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "ssd/ssd.hh"
+#include "util/rng.hh"
+#include "workload/zipf.hh"
+
+using namespace leaftl;
+
+namespace
+{
+
+/**
+ * A database laid out on the SSD: a contiguous table region accessed
+ * through a 2-level page-tree (inner pages cached, leaves on flash)
+ * plus a circular redo log region.
+ */
+class TinyDb
+{
+  public:
+    TinyDb(Ssd &ssd, uint64_t table_pages, uint64_t log_pages)
+        : ssd_(ssd), table_pages_(table_pages), log_pages_(log_pages),
+          zipf_(table_pages, 0.8)
+    {}
+
+    /** One transaction: read a few leaves, update one, log the redo. */
+    void
+    transaction(Rng &rng, Tick &now)
+    {
+        // Point reads of 2-4 leaf pages (skewed).
+        const int reads = 2 + static_cast<int>(rng.nextBounded(3));
+        for (int i = 0; i < reads; i++) {
+            const Lpa leaf = static_cast<Lpa>(zipf_.next(rng));
+            now += ssd_.read(leaf, now);
+        }
+        // Update one leaf.
+        const Lpa dirty = static_cast<Lpa>(zipf_.next(rng));
+        now += ssd_.write(dirty, now);
+        // Redo-log append (sequential region after the table).
+        const Lpa log_lpa =
+            static_cast<Lpa>(table_pages_ + (log_head_++ % log_pages_));
+        now += ssd_.write(log_lpa, now);
+    }
+
+    /** Range scan: sequential leaf reads (reporting queries). */
+    void
+    scan(Rng &rng, Tick &now, uint32_t len)
+    {
+        Lpa start = static_cast<Lpa>(rng.nextBounded(table_pages_ - len));
+        for (uint32_t i = 0; i < len; i++)
+            now += ssd_.read(start + i, now);
+    }
+
+  private:
+    Ssd &ssd_;
+    uint64_t table_pages_;
+    uint64_t log_pages_;
+    uint64_t log_head_ = 0;
+    ZipfGenerator zipf_;
+};
+
+SsdConfig
+makeConfig(FtlKind kind)
+{
+    SsdConfig cfg;
+    cfg.geometry.num_channels = 8;
+    cfg.geometry.blocks_per_channel = 96;
+    cfg.geometry.pages_per_block = 128;
+    cfg.ftl = kind;
+    // Scarce DRAM: the 44k-page database needs a ~352 KiB page-level
+    // table; LeaFTL's segments leave most of this for page cache.
+    cfg.dram_bytes = 256ull << 10;
+    cfg.dram_policy = DramPolicy::CacheFloor20;
+    cfg.write_buffer_bytes = 128ull * 4096;
+    cfg.compaction_interval = 20000;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const uint64_t txns =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+    const uint64_t table_pages = 40000;
+    const uint64_t log_pages = 4000;
+
+    std::printf("TPCC-like mix: %llu transactions + 1%% scans, %llu "
+                "table pages\n\n",
+                static_cast<unsigned long long>(txns),
+                static_cast<unsigned long long>(table_pages));
+    std::printf("%-8s %14s %14s %16s %12s\n", "FTL", "avg txn (us)",
+                "P99 read (us)", "mapping (KiB)", "cache pages");
+
+    for (FtlKind kind :
+         {FtlKind::DFTL, FtlKind::SFTL, FtlKind::LeaFTL}) {
+        Ssd ssd(makeConfig(kind));
+        TinyDb db(ssd, table_pages, log_pages);
+        Rng rng(7);
+
+        // Populate the table sequentially (bulk load).
+        Tick now = 0;
+        for (Lpa l = 0; l < table_pages + log_pages; l++)
+            now += ssd.write(l, now);
+        ssd.drainBuffer(now);
+
+        double txn_lat = 0.0;
+        for (uint64_t t = 0; t < txns; t++) {
+            const Tick before = now;
+            if (t % 100 == 99)
+                db.scan(rng, now, 64);
+            else
+                db.transaction(rng, now);
+            txn_lat += static_cast<double>(now - before);
+        }
+        ssd.drainBuffer(now);
+
+        std::printf("%-8s %14.1f %14.1f %16.1f %12llu\n",
+                    ssd.ftl().name(), txn_lat / txns / 1000.0,
+                    ssd.stats().read_latency.percentile(99) / 1000.0,
+                    ssd.ftl().fullMappingBytes() / 1024.0,
+                    static_cast<unsigned long long>(ssd.dataCachePages()));
+    }
+    std::printf("\nExpected: LeaFTL's bulk-loaded table compresses to a "
+                "few segments; the DRAM saved becomes page cache and "
+                "transactions run fastest.\n");
+    return 0;
+}

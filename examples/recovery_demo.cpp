@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Crash-recovery walkthrough (§3.8, §5): write data, persist the
+ * learned mapping table, keep writing, crash, recover from the
+ * snapshot plus the OOB scan of recently allocated blocks, and verify
+ * every logical page still resolves.
+ *
+ *   ./recovery_demo
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "ssd/ssd.hh"
+#include "util/rng.hh"
+
+using namespace leaftl;
+
+int
+main()
+{
+    SsdConfig cfg;
+    cfg.geometry.num_channels = 8;
+    cfg.geometry.blocks_per_channel = 64;
+    cfg.geometry.pages_per_block = 128;
+    cfg.ftl = FtlKind::LeaFTL;
+    cfg.gamma = 4;
+    cfg.dram_bytes = 4ull << 20;
+    cfg.write_buffer_bytes = 128ull * 4096;
+    Ssd ssd(cfg);
+
+    Rng rng(123);
+    std::set<Lpa> written;
+    Tick now = 0;
+    const uint64_t ws = cfg.hostPages() / 2;
+
+    std::printf("Phase 1: writing %llu pages...\n",
+                static_cast<unsigned long long>(ws));
+    for (uint64_t i = 0; i < ws; i++) {
+        const Lpa lpa = static_cast<Lpa>(rng.nextBounded(ws));
+        written.insert(lpa);
+        now += ssd.write(lpa, now);
+    }
+    ssd.drainBuffer(now);
+
+    std::printf("Persisting mapping table snapshot (%llu translation "
+                "writes so far)...\n",
+                static_cast<unsigned long long>(ssd.stats().trans_writes));
+    ssd.persistMapping(now);
+
+    std::printf("Phase 2: %llu more writes after the snapshot...\n",
+                static_cast<unsigned long long>(ws / 2));
+    for (uint64_t i = 0; i < ws / 2; i++) {
+        const Lpa lpa = static_cast<Lpa>(rng.nextBounded(ws));
+        written.insert(lpa);
+        now += ssd.write(lpa, now);
+    }
+    ssd.drainBuffer(now);
+
+    std::printf("\n*** CRASH ***\n\n");
+    const RecoveryStats rec = ssd.crashAndRecover(now);
+
+    std::printf("Recovery: scanned %llu blocks (%llu pages), relearned "
+                "%llu mappings, took %.2f ms simulated\n",
+                static_cast<unsigned long long>(rec.scanned_blocks),
+                static_cast<unsigned long long>(rec.scanned_pages),
+                static_cast<unsigned long long>(rec.relearned_mappings),
+                rec.recovery_time / 1.0e6);
+
+    std::printf("Verifying all %zu logical pages...\n", written.size());
+    uint64_t ok = 0;
+    for (Lpa lpa : written) {
+        const auto ppa = ssd.oraclePpa(lpa);
+        if (ppa && ssd.flash().peekLpa(*ppa) == lpa) {
+            ok++;
+            now += ssd.read(lpa, now);
+        }
+    }
+    std::printf("%llu/%zu pages verified intact after recovery.\n",
+                static_cast<unsigned long long>(ok), written.size());
+    return ok == written.size() ? 0 : 1;
+}

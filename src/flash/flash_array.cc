@@ -1,0 +1,105 @@
+#include "flash/flash_array.hh"
+
+#include <algorithm>
+
+namespace leaftl
+{
+
+FlashArray::FlashArray(const Geometry &geom)
+    : geom_(geom),
+      page_lpa_(geom.totalPages(), kInvalidLpa),
+      write_ptr_(geom.totalBlocks(), 0),
+      erase_cnt_(geom.totalBlocks(), 0)
+{
+    geom_.validate();
+}
+
+void
+FlashArray::programPage(Ppa ppa, Lpa lpa)
+{
+    LEAFTL_ASSERT(ppa < geom_.totalPages(), "program out of range");
+    const uint32_t block = geom_.blockOf(ppa);
+    const uint32_t page = geom_.pageInBlock(ppa);
+    LEAFTL_ASSERT(page == write_ptr_[block],
+                  "NAND violation: out-of-order program in block");
+    page_lpa_[ppa] = lpa;
+    write_ptr_[block]++;
+    counters_.page_writes++;
+}
+
+Lpa
+FlashArray::readPage(Ppa ppa)
+{
+    LEAFTL_ASSERT(ppa < geom_.totalPages(), "read out of range");
+    counters_.page_reads++;
+    return page_lpa_[ppa];
+}
+
+Lpa
+FlashArray::peekLpa(Ppa ppa) const
+{
+    LEAFTL_ASSERT(ppa < geom_.totalPages(), "peek out of range");
+    return page_lpa_[ppa];
+}
+
+std::vector<Lpa>
+FlashArray::oobWindow(Ppa ppa, uint32_t gamma) const
+{
+    LEAFTL_ASSERT(ppa < geom_.totalPages(), "oob out of range");
+    // The OOB has a bounded number of 4-byte entries; clip gamma to
+    // what physically fits (2*gamma + 1 entries needed, §3.5).
+    const uint32_t max_gamma = (geom_.oobEntries() - 1) / 2;
+    const uint32_t g = std::min(gamma, max_gamma);
+
+    const uint32_t block = geom_.blockOf(ppa);
+    const Ppa block_first = geom_.firstPpa(block);
+    const Ppa block_last = block_first + geom_.pages_per_block - 1;
+
+    std::vector<Lpa> window(2 * g + 1, kInvalidLpa);
+    for (uint32_t i = 0; i < window.size(); i++) {
+        const int64_t p = static_cast<int64_t>(ppa) - g + i;
+        if (p < block_first || p > static_cast<int64_t>(block_last))
+            continue;
+        window[i] = page_lpa_[static_cast<Ppa>(p)];
+    }
+    return window;
+}
+
+void
+FlashArray::eraseBlock(uint32_t block)
+{
+    LEAFTL_ASSERT(block < geom_.totalBlocks(), "erase out of range");
+    const Ppa first = geom_.firstPpa(block);
+    for (uint32_t i = 0; i < geom_.pages_per_block; i++)
+        page_lpa_[first + i] = kInvalidLpa;
+    write_ptr_[block] = 0;
+    erase_cnt_[block]++;
+    counters_.block_erases++;
+}
+
+BlockState
+FlashArray::blockState(uint32_t block) const
+{
+    LEAFTL_ASSERT(block < geom_.totalBlocks(), "block out of range");
+    if (write_ptr_[block] == 0)
+        return BlockState::Free;
+    if (write_ptr_[block] == geom_.pages_per_block)
+        return BlockState::Full;
+    return BlockState::Open;
+}
+
+uint32_t
+FlashArray::writePointer(uint32_t block) const
+{
+    LEAFTL_ASSERT(block < geom_.totalBlocks(), "block out of range");
+    return write_ptr_[block];
+}
+
+uint32_t
+FlashArray::eraseCount(uint32_t block) const
+{
+    LEAFTL_ASSERT(block < geom_.totalBlocks(), "block out of range");
+    return erase_cnt_[block];
+}
+
+} // namespace leaftl

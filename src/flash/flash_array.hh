@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The NAND flash array model: per-page written LPA (the page "data"
+ * identity), per-block program pointer and erase counts, and the OOB
+ * reverse-mapping view used for misprediction recovery (§3.5).
+ *
+ * NAND semantics enforced: pages are programmed in order inside a
+ * block, a programmed page cannot be reprogrammed until its block is
+ * erased, and erase works at block granularity only.
+ *
+ * OOB model: the paper stores, in each page's OOB, the LPAs of its
+ * neighbor PPAs [p - gamma, p + gamma] within the same block (entries
+ * beyond the block boundary are null). Because a block is written in
+ * one buffer flush and is immutable until erased, the neighbor LPAs at
+ * read time equal those at write time, so the array serves OOB queries
+ * from the per-page LPA store instead of duplicating them per page.
+ */
+
+#ifndef LEAFTL_FLASH_FLASH_ARRAY_HH
+#define LEAFTL_FLASH_FLASH_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** Raw flash operation counters (basis of WAF, Fig. 25). */
+struct FlashCounters
+{
+    uint64_t page_reads = 0;
+    uint64_t page_writes = 0;
+    uint64_t block_erases = 0;
+};
+
+/** Lifecycle of a block. */
+enum class BlockState : uint8_t
+{
+    Free,  ///< Erased, no pages programmed.
+    Open,  ///< Partially programmed.
+    Full,  ///< All pages programmed.
+};
+
+/** The flash array. */
+class FlashArray
+{
+  public:
+    explicit FlashArray(const Geometry &geom);
+
+    const Geometry &geometry() const { return geom_; }
+
+    /**
+     * Program the next page of a block.
+     *
+     * @param ppa Must be the block's next unwritten page.
+     * @param lpa Host LPA carried in the page (and its OOB self-entry).
+     */
+    void programPage(Ppa ppa, Lpa lpa);
+
+    /** Read a page; returns the LPA it carries (kInvalidLpa if unwritten). */
+    Lpa readPage(Ppa ppa);
+
+    /** Peek the carried LPA without charging a read (internal checks). */
+    Lpa peekLpa(Ppa ppa) const;
+
+    /**
+     * OOB reverse-mapping window around @a ppa: the LPAs of PPAs
+     * [ppa - gamma, ppa + gamma] clipped to the block (kInvalidLpa for
+     * out-of-block or unwritten slots). Reading the page at @a ppa
+     * already transfers its OOB, so this costs no extra flash access.
+     */
+    std::vector<Lpa> oobWindow(Ppa ppa, uint32_t gamma) const;
+
+    /** Erase a block, resetting its pages and bumping its wear. */
+    void eraseBlock(uint32_t block);
+
+    BlockState blockState(uint32_t block) const;
+    uint32_t writePointer(uint32_t block) const;
+    uint32_t eraseCount(uint32_t block) const;
+
+    const FlashCounters &counters() const { return counters_; }
+    void resetCounters() { counters_ = FlashCounters{}; }
+
+  private:
+    Geometry geom_;
+    std::vector<Lpa> page_lpa_;        ///< Per page.
+    std::vector<uint32_t> write_ptr_;  ///< Per block: next page to program.
+    std::vector<uint32_t> erase_cnt_;  ///< Per block.
+    FlashCounters counters_;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_FLASH_FLASH_ARRAY_HH

@@ -1,0 +1,22 @@
+#include "flash/geometry.hh"
+
+namespace leaftl
+{
+
+void
+Geometry::validate() const
+{
+    LEAFTL_ASSERT(num_channels > 0, "geometry: no channels");
+    LEAFTL_ASSERT(blocks_per_channel > 0, "geometry: no blocks");
+    LEAFTL_ASSERT(pages_per_block > 0, "geometry: no pages per block");
+    LEAFTL_ASSERT(page_size >= 512, "geometry: page too small");
+    LEAFTL_ASSERT(oob_size >= 8, "geometry: OOB too small");
+    // Compute in 64 bits: the accessors use 32-bit block counts.
+    const uint64_t blocks =
+        static_cast<uint64_t>(num_channels) * blocks_per_channel;
+    const uint64_t pages = blocks * pages_per_block;
+    LEAFTL_ASSERT(blocks <= 0xFFFFFFFFull && pages < kInvalidPpa,
+                  "geometry: PPA space overflows 32 bits");
+}
+
+} // namespace leaftl

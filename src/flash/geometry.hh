@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Physical geometry of the simulated NAND flash array (§2, Table 1).
+ *
+ * PPAs are linearized: block b owns pages [b * pages_per_block,
+ * (b+1) * pages_per_block). Blocks are striped round-robin across
+ * channels, so consecutive buffer flushes land on different channels
+ * and exploit the internal parallelism the paper relies on (§3.3).
+ */
+
+#ifndef LEAFTL_FLASH_GEOMETRY_HH
+#define LEAFTL_FLASH_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** SSD geometry knobs (paper defaults in Table 1). */
+struct Geometry
+{
+    uint32_t num_channels = 16;
+    uint32_t blocks_per_channel = 256;
+    uint32_t pages_per_block = 256;
+    uint32_t page_size = 4096;   ///< Bytes.
+    uint32_t oob_size = 128;     ///< Out-of-band bytes per page.
+
+    uint32_t totalBlocks() const { return num_channels * blocks_per_channel; }
+    uint64_t
+    totalPages() const
+    {
+        return static_cast<uint64_t>(totalBlocks()) * pages_per_block;
+    }
+    uint64_t capacityBytes() const { return totalPages() * page_size; }
+
+    /** Block that owns a PPA. */
+    uint32_t blockOf(Ppa ppa) const { return ppa / pages_per_block; }
+    /** Page index within its block. */
+    uint32_t pageInBlock(Ppa ppa) const { return ppa % pages_per_block; }
+    /** Channel of a block (round-robin striping). */
+    uint32_t channelOfBlock(uint32_t block) const
+    {
+        return block % num_channels;
+    }
+    /** Channel serving a PPA. */
+    uint32_t channelOf(Ppa ppa) const { return channelOfBlock(blockOf(ppa)); }
+    /** First PPA of a block. */
+    Ppa firstPpa(uint32_t block) const { return block * pages_per_block; }
+
+    /**
+     * Reverse-mapping entries that fit in the OOB: each LPA takes
+     * 4 bytes (§3.5), so 128-byte OOBs hold 32 entries.
+     */
+    uint32_t oobEntries() const { return oob_size / 4; }
+
+    /** Abort on inconsistent geometry. */
+    void validate() const;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_FLASH_GEOMETRY_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Flash operation latencies and per-channel timing (Table 1).
+ *
+ * The simulator uses a busy-until model per channel: an operation on a
+ * channel starts at max(now, busy_until) and occupies the channel for
+ * its nominal latency. This captures queueing behind buffer flushes
+ * and GC without a full discrete-event core, which is all the paper's
+ * relative comparisons require.
+ */
+
+#ifndef LEAFTL_FLASH_TIMING_HH
+#define LEAFTL_FLASH_TIMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** Nominal operation latencies (paper Table 1 defaults). */
+struct LatencyConfig
+{
+    Tick flash_read = 20 * kMicrosecond;
+    Tick flash_write = 200 * kMicrosecond;
+    Tick flash_erase = 1500 * kMicrosecond;
+    /** DRAM hit (buffer/cache/mapping) service time. */
+    Tick dram_access = 1 * kMicrosecond;
+};
+
+/** Per-channel busy-until bookkeeping. */
+class ChannelTimer
+{
+  public:
+    explicit ChannelTimer(uint32_t num_channels);
+
+    /**
+     * Schedule an operation of @a duration on @a channel at @a now.
+     * @return Completion time (start may be delayed by the channel).
+     */
+    Tick access(uint32_t channel, Tick now, Tick duration);
+
+    /**
+     * Schedule a background operation (flush/GC): occupies the channel
+     * but the caller does not wait for it.
+     */
+    void occupy(uint32_t channel, Tick now, Tick duration);
+
+    Tick busyUntil(uint32_t channel) const;
+
+    /** Earliest time any channel is free (for back-pressure). */
+    Tick earliestFree() const;
+
+    void reset();
+
+  private:
+    std::vector<Tick> busy_;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_FLASH_TIMING_HH

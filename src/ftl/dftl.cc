@@ -1,0 +1,169 @@
+#include "ftl/dftl.hh"
+
+namespace leaftl
+{
+
+Dftl::Dftl(FtlOps &ops, uint32_t page_size, uint64_t budget_bytes)
+    : Ftl(ops),
+      entries_per_tpage_(page_size / kMapEntryBytes),
+      budget_bytes_(budget_bytes)
+{
+    LEAFTL_ASSERT(entries_per_tpage_ > 0, "DFTL: page too small");
+}
+
+TranslateResult
+Dftl::translate(Lpa lpa)
+{
+    auto it = cmt_.find(lpa);
+    if (it != cmt_.end()) {
+        cmt_hits_++;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        if (it->second.ppa == kInvalidPpa)
+            return {}; // Trimmed.
+        return {true, it->second.ppa, false};
+    }
+
+    // CMT miss: consult the GTD. A missing translation page means the
+    // LPA was never mapped (no flash access needed).
+    const uint32_t tvpn = tvpnOf(lpa);
+    if (tpages_.count(tvpn) == 0) {
+        auto fit = flash_map_.find(lpa);
+        LEAFTL_ASSERT(fit == flash_map_.end(),
+                      "DFTL: mapped entry without translation page");
+        return {};
+    }
+
+    cmt_misses_++;
+    ops_.chargeTransRead();
+    auto fit = flash_map_.find(lpa);
+    if (fit == flash_map_.end())
+        return {}; // Page exists but this slot was never written.
+
+    upsertCmt(lpa, fit->second, /*dirty=*/false);
+    if (fit->second == kInvalidPpa)
+        return {}; // Trimmed tombstone.
+    return {true, fit->second, false};
+}
+
+void
+Dftl::trim(Lpa lpa)
+{
+    // Record the unmapping as a dirty tombstone entry; the eventual
+    // write-back persists it to the translation page.
+    const uint32_t tvpn = tvpnOf(lpa);
+    if (tpages_.count(tvpn) == 0 && cmt_.find(lpa) == cmt_.end())
+        return; // Never mapped: nothing to do.
+    upsertCmt(lpa, kInvalidPpa, /*dirty=*/true);
+}
+
+void
+Dftl::upsertCmt(Lpa lpa, Ppa ppa, bool dirty)
+{
+    auto it = cmt_.find(lpa);
+    if (it != cmt_.end()) {
+        it->second.ppa = ppa;
+        it->second.dirty = it->second.dirty || dirty;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return;
+    }
+    lru_.push_front(lpa);
+    cmt_[lpa] = CmtEntry{ppa, dirty, lru_.begin()};
+    evictToBudget();
+}
+
+void
+Dftl::evictToBudget()
+{
+    const uint64_t max_entries = budget_bytes_ / kMapEntryBytes;
+    while (cmt_.size() > max_entries && !lru_.empty()) {
+        const Lpa victim = lru_.back();
+        auto it = cmt_.find(victim);
+        LEAFTL_ASSERT(it != cmt_.end(), "DFTL: LRU out of sync");
+        if (it->second.dirty) {
+            // Batch write-back: flush all dirty entries of the
+            // victim's translation page in one read-modify-write.
+            writebackTpage(tvpnOf(victim));
+        }
+        lru_.pop_back();
+        cmt_.erase(victim);
+    }
+}
+
+void
+Dftl::writebackTpage(uint32_t tvpn)
+{
+    if (tpages_.count(tvpn))
+        ops_.chargeTransRead(); // RMW: read the old page.
+    ops_.chargeTransWrite();
+    tpages_.insert(tvpn);
+
+    const Lpa first = tvpn * entries_per_tpage_;
+    for (uint32_t i = 0; i < entries_per_tpage_; i++) {
+        auto it = cmt_.find(first + i);
+        if (it != cmt_.end() && it->second.dirty) {
+            flash_map_[first + i] = it->second.ppa;
+            it->second.dirty = false;
+        }
+    }
+}
+
+void
+Dftl::recordMappings(const std::vector<std::pair<Lpa, Ppa>> &run)
+{
+    for (const auto &[lpa, ppa] : run)
+        upsertCmt(lpa, ppa, /*dirty=*/true);
+}
+
+void
+Dftl::recordMappingsGc(const std::vector<std::pair<Lpa, Ppa>> &run)
+{
+    // Direct translation-page updates, one RMW per affected page.
+    uint32_t cur_tvpn = 0;
+    bool have_tvpn = false;
+    for (const auto &[lpa, ppa] : run) {
+        const uint32_t tvpn = tvpnOf(lpa);
+        if (!have_tvpn || tvpn != cur_tvpn) {
+            if (tpages_.count(tvpn))
+                ops_.chargeTransRead();
+            ops_.chargeTransWrite();
+            tpages_.insert(tvpn);
+            cur_tvpn = tvpn;
+            have_tvpn = true;
+        }
+        flash_map_[lpa] = ppa;
+        // Refresh any cached copy; it is now clean w.r.t. flash.
+        auto it = cmt_.find(lpa);
+        if (it != cmt_.end()) {
+            it->second.ppa = ppa;
+            it->second.dirty = false;
+        }
+    }
+}
+
+size_t
+Dftl::residentMappingBytes() const
+{
+    return cmt_.size() * kMapEntryBytes;
+}
+
+size_t
+Dftl::fullMappingBytes() const
+{
+    // Every mapped LPA costs one 8-byte entry. Entries that only live
+    // in the CMT (dirty, not yet written back) still count once.
+    size_t mapped = flash_map_.size();
+    for (const auto &[lpa, e] : cmt_) {
+        if (flash_map_.find(lpa) == flash_map_.end())
+            mapped++;
+    }
+    return mapped * kMapEntryBytes;
+}
+
+void
+Dftl::setMappingBudget(uint64_t bytes)
+{
+    budget_bytes_ = bytes;
+    evictToBudget();
+}
+
+} // namespace leaftl

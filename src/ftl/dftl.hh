@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DFTL baseline: demand-based page-level mapping (Gupta et al.,
+ * ASPLOS'09, [20] in the paper).
+ *
+ * The full page-level table lives in translation pages on flash
+ * (modeled by an authoritative map plus a set of materialized
+ * translation virtual page numbers). A Cached Mapping Table (CMT)
+ * holds recently used 8-byte entries under an LRU policy:
+ *
+ *   - CMT miss: one translation-page read;
+ *   - evicting a dirty entry: read-modify-write of its translation
+ *     page (one read + one write), opportunistically flushing every
+ *     dirty CMT entry of that page (DFTL's batching optimization);
+ *   - GC updates translation pages directly (RMW per affected page).
+ */
+
+#ifndef LEAFTL_FTL_DFTL_HH
+#define LEAFTL_FTL_DFTL_HH
+
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ftl/ftl.hh"
+
+namespace leaftl
+{
+
+/** Demand-cached page-level FTL. */
+class Dftl : public Ftl
+{
+  public:
+    /**
+     * @param ops Device charge hooks.
+     * @param page_size Flash page size (a translation page holds
+     *                  page_size / 8 entries).
+     * @param budget_bytes Initial CMT budget.
+     */
+    Dftl(FtlOps &ops, uint32_t page_size, uint64_t budget_bytes);
+
+    TranslateResult translate(Lpa lpa) override;
+    void trim(Lpa lpa) override;
+    void recordMappings(const std::vector<std::pair<Lpa, Ppa>> &run) override;
+    void
+    recordMappingsGc(const std::vector<std::pair<Lpa, Ppa>> &run) override;
+    size_t residentMappingBytes() const override;
+    size_t fullMappingBytes() const override;
+    void setMappingBudget(uint64_t bytes) override;
+    const char *name() const override { return "DFTL"; }
+
+    uint64_t cmtHits() const { return cmt_hits_; }
+    uint64_t cmtMisses() const { return cmt_misses_; }
+
+  private:
+    struct CmtEntry
+    {
+        Ppa ppa;
+        bool dirty;
+        std::list<Lpa>::iterator lru_it;
+    };
+
+    uint32_t tvpnOf(Lpa lpa) const { return lpa / entries_per_tpage_; }
+
+    /** Insert/update a CMT entry, evicting to budget. */
+    void upsertCmt(Lpa lpa, Ppa ppa, bool dirty);
+    void evictToBudget();
+    /** Write back every dirty CMT entry of @a tvpn (one RMW). */
+    void writebackTpage(uint32_t tvpn);
+
+    uint32_t entries_per_tpage_;
+    uint64_t budget_bytes_;
+
+    std::list<Lpa> lru_; ///< Front = MRU.
+    std::unordered_map<Lpa, CmtEntry> cmt_;
+
+    /** Authoritative on-flash translation pages. */
+    std::unordered_map<Lpa, Ppa> flash_map_;
+    std::unordered_set<uint32_t> tpages_; ///< Materialized tvpns.
+
+    uint64_t cmt_hits_ = 0;
+    uint64_t cmt_misses_ = 0;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_FTL_DFTL_HH

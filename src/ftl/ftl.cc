@@ -1,0 +1,12 @@
+#include "ftl/ftl.hh"
+
+#include "ftl/dftl.hh"
+#include "ftl/leaftl.hh"
+#include "ftl/sftl.hh"
+
+// makeFtl lives in leaftl.cc (it needs every concrete FTL); this
+// translation unit exists to anchor the Ftl vtable.
+
+namespace leaftl
+{
+} // namespace leaftl

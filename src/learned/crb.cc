@@ -1,0 +1,122 @@
+#include "learned/crb.hh"
+
+#include <algorithm>
+
+namespace leaftl
+{
+
+namespace
+{
+const std::vector<uint8_t> kEmptyRun;
+} // namespace
+
+Crb::Crb()
+{
+    std::fill(std::begin(owner_), std::end(owner_), kNoSeg);
+}
+
+void
+Crb::insertRun(SegId id, const std::vector<uint8_t> &offs,
+               std::vector<SegId> &emptied)
+{
+    LEAFTL_ASSERT(!offs.empty(), "CRB run must be non-empty");
+    LEAFTL_ASSERT(runs_.find(id) == runs_.end(), "CRB id reused");
+
+    for (size_t i = 1; i < offs.size(); i++)
+        LEAFTL_ASSERT(offs[i] > offs[i - 1], "CRB run must be sorted");
+
+    // Deduplicate: steal ownership from older runs.
+    for (uint8_t off : offs) {
+        const SegId old = owner_[off];
+        if (old == kNoSeg || old == id)
+            continue;
+        auto it = runs_.find(old);
+        LEAFTL_ASSERT(it != runs_.end(), "CRB owner index out of sync");
+        auto &vec = it->second;
+        vec.erase(std::remove(vec.begin(), vec.end(), off), vec.end());
+        if (vec.empty()) {
+            runs_.erase(it);
+            emptied.push_back(old);
+        }
+    }
+
+    runs_[id] = offs;
+    for (uint8_t off : offs)
+        owner_[off] = id;
+}
+
+bool
+Crb::contains(SegId id, uint8_t off) const
+{
+    return owner_[off] == id;
+}
+
+bool
+Crb::removeOffsets(SegId id, const std::vector<uint8_t> &offs)
+{
+    auto it = runs_.find(id);
+    if (it == runs_.end())
+        return true;
+    auto &vec = it->second;
+    for (uint8_t off : offs) {
+        if (owner_[off] != id)
+            continue;
+        vec.erase(std::remove(vec.begin(), vec.end(), off), vec.end());
+        owner_[off] = kNoSeg;
+    }
+    if (vec.empty()) {
+        runs_.erase(it);
+        return true;
+    }
+    return false;
+}
+
+void
+Crb::restoreRun(SegId id, const std::vector<uint8_t> &offs)
+{
+    LEAFTL_ASSERT(runs_.find(id) == runs_.end(), "CRB id reused");
+    runs_[id] = offs;
+    for (uint8_t off : offs) {
+        LEAFTL_ASSERT(owner_[off] == kNoSeg,
+                      "restored CRB runs must be disjoint");
+        owner_[off] = id;
+    }
+}
+
+void
+Crb::removeRun(SegId id)
+{
+    auto it = runs_.find(id);
+    if (it == runs_.end())
+        return;
+    for (uint8_t off : it->second) {
+        if (owner_[off] == id)
+            owner_[off] = kNoSeg;
+    }
+    runs_.erase(it);
+}
+
+const std::vector<uint8_t> &
+Crb::run(SegId id) const
+{
+    auto it = runs_.find(id);
+    return it == runs_.end() ? kEmptyRun : it->second;
+}
+
+uint8_t
+Crb::head(SegId id) const
+{
+    const auto &r = run(id);
+    return r.empty() ? 0 : r.front();
+}
+
+size_t
+Crb::sizeBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &[id, vec] : runs_)
+        bytes += vec.size() + 1;
+    return bytes;
+}
+
+} // namespace leaftl

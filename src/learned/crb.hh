@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Conflict Resolution Buffer (CRB, §3.4, Fig. 9).
+ *
+ * Approximate segments are learned from irregular LPA patterns, so
+ * their member LPAs cannot be recomputed from (S, L, K, I). Each group
+ * keeps one CRB that stores, per approximate segment, the exact list
+ * of member offsets. The paper lays the CRB out as a nearly-sorted
+ * byte array with null separators and identifies a run by its first
+ * LPA; this implementation keys runs by a per-group segment id instead
+ * (which removes the fragile "bump the old segment's S when starting
+ * LPAs collide" dance while preserving the exact same semantics), and
+ * charges memory the way the paper does: one byte per stored offset
+ * plus one separator byte per run.
+ *
+ * Invariants mirror the paper's:
+ *   - offsets inside one run are sorted and unique;
+ *   - an offset appears in at most one run group-wide (newest owner
+ *     wins; stale owners are pruned on insert);
+ *   - empty runs disappear together with their segment.
+ */
+
+#ifndef LEAFTL_LEARNED_CRB_HH
+#define LEAFTL_LEARNED_CRB_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** Per-group conflict resolution buffer for approximate segments. */
+class Crb
+{
+  public:
+    using SegId = uint32_t;
+    static constexpr SegId kNoSeg = 0xFFFFFFFFu;
+
+    Crb();
+
+    /**
+     * Register the member offsets of a new approximate segment.
+     * Offsets already owned by other runs are deduplicated (the new
+     * segment takes ownership). Runs emptied by deduplication are
+     * erased and their ids reported so the caller can drop the
+     * corresponding dead segments.
+     *
+     * @param id New segment id (must be unused).
+     * @param offs Sorted unique member offsets.
+     * @param[out] emptied Ids of runs that lost their last offset.
+     */
+    void insertRun(SegId id, const std::vector<uint8_t> &offs,
+                   std::vector<SegId> &emptied);
+
+    /** Membership test: does segment @a id own offset @a off? */
+    bool contains(SegId id, uint8_t off) const;
+
+    /** Owner of @a off, or kNoSeg. */
+    SegId owner(uint8_t off) const { return owner_[off]; }
+
+    /**
+     * Remove specific offsets from segment @a id's run (merge
+     * trimming). @return true if the run became empty (and was erased).
+     */
+    bool removeOffsets(SegId id, const std::vector<uint8_t> &offs);
+
+    /** Drop a whole run (segment removed). */
+    void removeRun(SegId id);
+
+    /**
+     * Recovery path: re-attach a run without deduplication (the
+     * serialized state is already deduplicated).
+     */
+    void restoreRun(SegId id, const std::vector<uint8_t> &offs);
+
+    /** Current member offsets of a run (empty if unknown). */
+    const std::vector<uint8_t> &run(SegId id) const;
+
+    /** First (smallest) member offset of a run; 0 if unknown. */
+    uint8_t head(SegId id) const;
+
+    /** Number of live runs. */
+    size_t numRuns() const { return runs_.size(); }
+
+    /**
+     * Memory footprint in bytes using the paper's accounting: one byte
+     * per offset plus a one-byte separator per run.
+     */
+    size_t sizeBytes() const;
+
+  private:
+    std::map<SegId, std::vector<uint8_t>> runs_;
+    /** Reverse index: offset -> owning approximate segment. */
+    SegId owner_[kGroupSpan];
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_LEARNED_CRB_HH

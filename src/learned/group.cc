@@ -1,0 +1,363 @@
+#include "learned/group.hh"
+
+#include <algorithm>
+
+namespace leaftl
+{
+
+namespace
+{
+
+/** Binary search: index of the segment covering @a off, or -1. */
+int
+findCovering(const std::vector<SegEntry> &segs, uint8_t off)
+{
+    int lo = 0, hi = static_cast<int>(segs.size()) - 1;
+    while (lo <= hi) {
+        const int mid = (lo + hi) / 2;
+        const Segment &s = segs[mid].seg;
+        if (off < s.slpa()) {
+            hi = mid - 1;
+        } else if (off > s.endOff()) {
+            lo = mid + 1;
+        } else {
+            return mid;
+        }
+    }
+    return -1;
+}
+
+} // namespace
+
+bool
+Group::hasLpa(const SegEntry &e, uint8_t off) const
+{
+    if (!e.seg.covers(off))
+        return false;
+    if (e.seg.approximate())
+        return crb_.contains(e.id, off);
+    return e.seg.hasLpaAccurate(off);
+}
+
+Bitmap
+Group::bitmapOf(const SegEntry &e, uint8_t start, uint8_t end) const
+{
+    Bitmap bm(static_cast<uint32_t>(end - start) + 1);
+    if (e.seg.approximate()) {
+        for (uint8_t off : crb_.run(e.id)) {
+            if (off >= start && off <= end)
+                bm.set(off - start);
+        }
+    } else {
+        const uint32_t d = e.seg.singlePoint() ? 1 : e.seg.stride();
+        for (uint32_t off = e.seg.slpa(); off <= e.seg.endOff(); off += d) {
+            if (off >= start && off <= end)
+                bm.set(off - start);
+            if (e.seg.singlePoint())
+                break;
+        }
+    }
+    return bm;
+}
+
+void
+Group::insertSorted(Level &level, const SegEntry &entry)
+{
+    auto it = std::lower_bound(
+        level.segs.begin(), level.segs.end(), entry,
+        [](const SegEntry &a, const SegEntry &b) {
+            return a.seg.slpa() < b.seg.slpa();
+        });
+    level.segs.insert(it, entry);
+}
+
+std::vector<SegEntry>
+Group::mergeVictims(size_t level_idx, const SegEntry &entry,
+                    bool detach_conflicts)
+{
+    Level &level = levels_[level_idx];
+    std::vector<SegEntry> conflicts;
+
+    // Locate the window of victims whose ranges intersect the entry.
+    size_t i = 0;
+    while (i < level.segs.size()) {
+        SegEntry &victim = level.segs[i];
+        if (!entry.seg.overlaps(victim.seg)) {
+            i++;
+            continue;
+        }
+
+        // Algorithm 2: reconstruct both into bitmaps over the union
+        // range, subtract the new segment's members from the victim.
+        const uint8_t start =
+            std::min(entry.seg.slpa(), victim.seg.slpa());
+        const uint8_t end =
+            std::max(entry.seg.endOff(), victim.seg.endOff());
+        const Bitmap bm_new = bitmapOf(entry, start, end);
+        Bitmap bm_old = bitmapOf(victim, start, end);
+
+        // For approximate victims the CRB insert already stole the
+        // overwritten offsets, so the subtraction is mostly a no-op
+        // there; accurate victims are trimmed here.
+        std::vector<uint8_t> stolen;
+        for (uint32_t b = 0; b < bm_old.size(); b++) {
+            if (bm_old.test(b) && bm_new.test(b))
+                stolen.push_back(static_cast<uint8_t>(start + b));
+        }
+        bm_old.subtract(bm_new);
+
+        if (bm_old.none()) {
+            // Victim fully superseded: remove it (Algorithm 1 l.11-12).
+            if (victim.seg.approximate())
+                crb_.removeRun(victim.id);
+            level.segs.erase(level.segs.begin() + i);
+            continue;
+        }
+
+        // Trim the victim's range; K and I are never touched.
+        const uint8_t first = static_cast<uint8_t>(start + bm_old.firstSet());
+        const uint8_t last = static_cast<uint8_t>(start + bm_old.lastSet());
+        victim.seg.trim(first, last);
+        if (victim.seg.approximate() && !stolen.empty())
+            crb_.removeOffsets(victim.id, stolen);
+
+        if (entry.seg.overlaps(victim.seg)) {
+            // Range still interleaves: the victim cannot share a sorted
+            // run with the entry (Algorithm 1 lines 13-16).
+            conflicts.push_back(victim);
+            if (detach_conflicts) {
+                level.segs.erase(level.segs.begin() + i);
+                continue;
+            }
+        }
+        i++;
+    }
+    return conflicts;
+}
+
+void
+Group::pushVictimDown(size_t from_level, const SegEntry &victim)
+{
+    const size_t below = from_level + 1;
+    if (below >= levels_.size()) {
+        levels_.emplace_back();
+        insertSorted(levels_.back(), victim);
+        return;
+    }
+    // If the next level has no range conflict with the victim, it can
+    // join that sorted run; otherwise it gets a dedicated level to
+    // avoid recursive pops (and to preserve recency ordering).
+    bool conflict = false;
+    for (const SegEntry &e : levels_[below].segs) {
+        if (e.seg.overlaps(victim.seg)) {
+            conflict = true;
+            break;
+        }
+    }
+    if (conflict) {
+        levels_.insert(levels_.begin() + below, Level{});
+        insertSorted(levels_[below], victim);
+    } else {
+        insertSorted(levels_[below], victim);
+    }
+}
+
+void
+Group::insertAt(size_t level_idx, const SegEntry &entry)
+{
+    while (levels_.size() <= level_idx)
+        levels_.emplace_back();
+
+    std::vector<SegEntry> conflicts =
+        mergeVictims(level_idx, entry, /*detach_conflicts=*/true);
+    // Pop detached victims below. Iterate in reverse so that earlier
+    // (left-most) victims end up searched first; order within the new
+    // level is restored by sorted insertion anyway.
+    for (const SegEntry &victim : conflicts)
+        pushVictimDown(level_idx, victim);
+
+    insertSorted(levels_[level_idx], entry);
+}
+
+bool
+Group::tryInsertAt(size_t level_idx, const SegEntry &entry)
+{
+    std::vector<SegEntry> conflicts =
+        mergeVictims(level_idx, entry, /*detach_conflicts=*/false);
+    if (!conflicts.empty())
+        return false;
+    insertSorted(levels_[level_idx], entry);
+    return true;
+}
+
+void
+Group::update(const FittedSegment &fs)
+{
+    SegEntry entry;
+    entry.seg = fs.seg;
+
+    if (fs.seg.approximate()) {
+        entry.id = next_id_++;
+        std::vector<Crb::SegId> emptied;
+        crb_.insertRun(entry.id, fs.offs, emptied);
+        // Runs emptied by deduplication belong to fully superseded
+        // approximate segments; drop them wherever they live.
+        for (Crb::SegId dead : emptied)
+            removeSegmentById(dead);
+    }
+
+    insertAt(0, entry);
+}
+
+void
+Group::removeSegmentById(Crb::SegId id)
+{
+    for (Level &level : levels_) {
+        for (size_t i = 0; i < level.segs.size(); i++) {
+            if (level.segs[i].id == id) {
+                level.segs.erase(level.segs.begin() + i);
+                return;
+            }
+        }
+    }
+}
+
+std::optional<GroupLookup>
+Group::lookup(uint8_t off) const
+{
+    for (size_t li = 0; li < levels_.size(); li++) {
+        const int idx = findCovering(levels_[li].segs, off);
+        if (idx < 0)
+            continue;
+        const SegEntry &e = levels_[li].segs[idx];
+        if (!hasLpa(e, off))
+            continue;
+        GroupLookup res;
+        res.ppa = e.seg.predict(off);
+        res.approximate = e.seg.approximate();
+        res.levels_visited = static_cast<uint32_t>(li + 1);
+        return res;
+    }
+    return std::nullopt;
+}
+
+void
+Group::compact()
+{
+    // Phase 1: subtract every newer segment's members from every
+    // older segment below it (the paper's seg_update-into-lower-level
+    // cascade). Fully superseded old segments die here; partly
+    // superseded ones are trimmed. Placement is untouched, so newer
+    // segments stay above the stale interior members of accurate
+    // victims they shadow.
+    for (size_t li = 0; li + 1 < levels_.size(); li++) {
+        for (size_t i = 0; i < levels_[li].segs.size(); i++) {
+            const SegEntry entry = levels_[li].segs[i];
+            for (size_t lj = li + 1; lj < levels_.size(); lj++)
+                mergeVictims(lj, entry, /*detach_conflicts=*/false);
+        }
+    }
+
+    // Phase 2: sink segments downward wherever no range conflict
+    // remains; interleaved member-disjoint segments stay on their
+    // levels (they cannot share a sorted run).
+    for (size_t li = 0; li + 1 < levels_.size(); li++) {
+        Level &upper = levels_[li];
+        for (size_t i = 0; i < upper.segs.size();) {
+            const SegEntry entry = upper.segs[i];
+            upper.segs.erase(upper.segs.begin() + i);
+            if (!tryInsertAt(li + 1, entry)) {
+                upper.segs.insert(upper.segs.begin() + i, entry);
+                i++;
+            }
+        }
+    }
+    dropEmptyLevels();
+}
+
+void
+Group::dropEmptyLevels()
+{
+    levels_.erase(std::remove_if(levels_.begin(), levels_.end(),
+                                 [](const Level &l) {
+                                     return l.segs.empty();
+                                 }),
+                  levels_.end());
+}
+
+size_t
+Group::numSegments() const
+{
+    size_t n = 0;
+    for (const Level &l : levels_)
+        n += l.segs.size();
+    return n;
+}
+
+size_t
+Group::numApproximate() const
+{
+    size_t n = 0;
+    for (const Level &l : levels_) {
+        for (const SegEntry &e : l.segs)
+            n += e.seg.approximate() ? 1 : 0;
+    }
+    return n;
+}
+
+size_t
+Group::memoryBytes() const
+{
+    return numSegments() * Segment::kEncodedBytes + crb_.sizeBytes();
+}
+
+void
+Group::forEachSegment(
+    const std::function<void(const SegEntry &, size_t)> &fn) const
+{
+    for (size_t li = 0; li < levels_.size(); li++) {
+        for (const SegEntry &e : levels_[li].segs)
+            fn(e, li);
+    }
+}
+
+void
+Group::restoreRaw(size_t level, const Segment &seg,
+                  const std::vector<uint8_t> &run)
+{
+    while (levels_.size() <= level)
+        levels_.emplace_back();
+    SegEntry entry;
+    entry.seg = seg;
+    if (seg.approximate()) {
+        entry.id = next_id_++;
+        crb_.restoreRun(entry.id, run);
+    }
+    insertSorted(levels_[level], entry);
+}
+
+void
+Group::checkInvariants() const
+{
+    for (const Level &level : levels_) {
+        for (size_t i = 0; i < level.segs.size(); i++) {
+            const SegEntry &e = level.segs[i];
+            LEAFTL_ASSERT(e.seg.endOff() >= e.seg.slpa(),
+                          "segment range inverted");
+            if (i > 0) {
+                const SegEntry &prev = level.segs[i - 1];
+                LEAFTL_ASSERT(prev.seg.endOff() < e.seg.slpa(),
+                              "level segments overlap or unsorted");
+            }
+            if (e.seg.approximate()) {
+                const auto &run = crb_.run(e.id);
+                LEAFTL_ASSERT(!run.empty(), "approx segment without CRB run");
+                LEAFTL_ASSERT(run.front() >= e.seg.slpa() &&
+                                  run.back() <= e.seg.endOff(),
+                              "CRB run outside segment range");
+            }
+        }
+    }
+}
+
+} // namespace leaftl

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Per-group log-structured mapping table (§3.4, §3.7, Algorithms 1&2).
+ *
+ * Each 256-LPA group owns a stack of levels. Level 0 holds the most
+ * recently learned segments; lower levels hold older ones. Within a
+ * level, segments are sorted by S and their [S, S+L] ranges never
+ * overlap, so a level is searched with one binary search; across
+ * levels, ranges may overlap and the topmost hit wins (newest mapping).
+ *
+ * Inserting a new segment merges it against overlapping victims
+ * (Algorithm 2): victims are reconstructed into bitmaps, the new
+ * segment's members are subtracted, and the victims are trimmed,
+ * dropped when empty, or popped to the next level when their range
+ * still interleaves with the new segment (with a dedicated level
+ * created when the next level also conflicts, avoiding recursion).
+ *
+ * Compaction (seg_compact) sinks segments into lower levels when no
+ * range conflict remains, reclaiming dead segments and empty levels.
+ * Interleaved-but-member-disjoint segments legitimately stay on
+ * separate levels (they cannot share a sorted run).
+ */
+
+#ifndef LEAFTL_LEARNED_GROUP_HH
+#define LEAFTL_LEARNED_GROUP_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "learned/crb.hh"
+#include "learned/plr.hh"
+#include "learned/segment.hh"
+#include "util/bitmap.hh"
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** Result of a group lookup. */
+struct GroupLookup
+{
+    Ppa ppa;                 ///< Predicted PPA (exact if !approximate).
+    bool approximate;        ///< True when served by an approximate segment.
+    uint32_t levels_visited; ///< Levels searched, including the hit.
+};
+
+/** A segment plus its CRB identity (valid only when approximate). */
+struct SegEntry
+{
+    Segment seg;
+    Crb::SegId id = Crb::kNoSeg;
+};
+
+/** Log-structured mapping table for one 256-LPA group. */
+class Group
+{
+  public:
+    Group() = default;
+
+    /**
+     * Insert a freshly learned segment (Algorithm 1, seg_update at the
+     * topmost level). Registers approximate members in the CRB, merges
+     * overlapping victims, and keeps level 0 sorted.
+     */
+    void update(const FittedSegment &fs);
+
+    /** Translate a group offset; nullopt when the LPA was never learned. */
+    std::optional<GroupLookup> lookup(uint8_t off) const;
+
+    /** Compact levels (Algorithm 1, seg_compact). */
+    void compact();
+
+    size_t numLevels() const { return levels_.size(); }
+    size_t numSegments() const;
+    size_t numApproximate() const;
+
+    /** Mapping memory: 8 bytes per segment plus the CRB bytes. */
+    size_t memoryBytes() const;
+
+    const Crb &crb() const { return crb_; }
+
+    /** Visit every live segment (topmost level first). */
+    void forEachSegment(
+        const std::function<void(const SegEntry &, size_t level)> &fn) const;
+
+    /** Validate internal invariants; aborts on violation (tests). */
+    void checkInvariants() const;
+
+    /**
+     * Recovery path: re-attach a deserialized segment at a given level
+     * without merging (the serialized state already satisfies the
+     * invariants). @a run holds the CRB offsets for approximate
+     * segments (ignored otherwise).
+     */
+    void restoreRaw(size_t level, const Segment &seg,
+                    const std::vector<uint8_t> &run);
+
+  private:
+    struct Level
+    {
+        std::vector<SegEntry> segs; ///< Sorted by S, non-overlapping.
+    };
+
+    bool hasLpa(const SegEntry &e, uint8_t off) const;
+    Bitmap bitmapOf(const SegEntry &e, uint8_t start, uint8_t end) const;
+
+    /**
+     * Merge @a entry against overlapping victims of @a level_idx and
+     * then insert it there, popping conflicting victims down (runtime
+     * behavior of Algorithm 1).
+     */
+    void insertAt(size_t level_idx, const SegEntry &entry);
+
+    /**
+     * Compaction variant: merge victims, but only move @a entry into
+     * the level when no range conflict survives.
+     * @return true when the entry was inserted.
+     */
+    bool tryInsertAt(size_t level_idx, const SegEntry &entry);
+
+    /**
+     * Shared merge step: apply Algorithm 2 to every victim of
+     * @a entry in @a level_idx. Dead victims are removed. Surviving
+     * range-conflicting victims are returned (removed from the level
+     * when @a detach_conflicts is set).
+     */
+    std::vector<SegEntry> mergeVictims(size_t level_idx,
+                                       const SegEntry &entry,
+                                       bool detach_conflicts);
+
+    /** Pop a victim below @a from_level (Algorithm 1 lines 13-16). */
+    void pushVictimDown(size_t from_level, const SegEntry &victim);
+
+    /** Remove a (dead) segment wherever it lives. */
+    void removeSegmentById(Crb::SegId id);
+
+    void insertSorted(Level &level, const SegEntry &entry);
+    void dropEmptyLevels();
+
+    std::vector<Level> levels_; ///< [0] is the topmost (newest).
+    Crb crb_;
+    Crb::SegId next_id_ = 1;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_LEARNED_GROUP_HH

@@ -1,0 +1,207 @@
+#include "learned/learned_table.hh"
+
+#include <cstring>
+
+namespace leaftl
+{
+
+namespace
+{
+
+template <typename T>
+void
+put(std::vector<uint8_t> &blob, T v)
+{
+    const size_t at = blob.size();
+    blob.resize(at + sizeof(T));
+    std::memcpy(blob.data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T
+get(const std::vector<uint8_t> &blob, size_t &at)
+{
+    LEAFTL_ASSERT(at + sizeof(T) <= blob.size(), "blob underrun");
+    T v;
+    std::memcpy(&v, blob.data() + at, sizeof(T));
+    at += sizeof(T);
+    return v;
+}
+
+} // namespace
+
+LearnedTable::LearnedTable(uint32_t gamma) : gamma_(gamma)
+{
+}
+
+std::vector<uint32_t>
+LearnedTable::learn(const std::vector<std::pair<Lpa, Ppa>> &run)
+{
+    std::vector<uint32_t> touched;
+    if (run.empty())
+        return touched;
+    for (auto &[group_idx, fitted] : fitRun(run, gamma_)) {
+        touched.push_back(group_idx);
+        Group &group = groups_[group_idx];
+        for (const FittedSegment &fs : fitted) {
+            stats_.segments_created++;
+            if (fs.seg.approximate())
+                stats_.approximate_created++;
+            else
+                stats_.accurate_created++;
+            stats_.creation_lengths.add(static_cast<double>(fs.offs.size()));
+            group.update(fs);
+        }
+    }
+    return touched;
+}
+
+size_t
+LearnedTable::groupBytes(uint32_t group_idx) const
+{
+    auto it = groups_.find(group_idx);
+    return it == groups_.end() ? 0 : it->second.memoryBytes();
+}
+
+void
+LearnedTable::forEachGroup(const std::function<void(uint32_t)> &fn) const
+{
+    for (const auto &[idx, group] : groups_)
+        fn(idx);
+}
+
+std::optional<TableLookup>
+LearnedTable::lookup(Lpa lpa) const
+{
+    auto it = groups_.find(groupOf(lpa));
+    if (it == groups_.end())
+        return std::nullopt;
+    auto res = it->second.lookup(static_cast<uint8_t>(groupOffset(lpa)));
+    if (!res)
+        return std::nullopt;
+    stats_.lookups++;
+    stats_.lookup_levels_total += res->levels_visited;
+    stats_.lookup_levels.add(static_cast<double>(res->levels_visited));
+    return TableLookup{res->ppa, res->approximate, res->levels_visited};
+}
+
+void
+LearnedTable::compact()
+{
+    for (auto &[idx, group] : groups_)
+        group.compact();
+}
+
+size_t
+LearnedTable::memoryBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &[idx, group] : groups_)
+        bytes += group.memoryBytes();
+    return bytes;
+}
+
+size_t
+LearnedTable::numSegments() const
+{
+    size_t n = 0;
+    for (const auto &[idx, group] : groups_)
+        n += group.numSegments();
+    return n;
+}
+
+size_t
+LearnedTable::numApproximate() const
+{
+    size_t n = 0;
+    for (const auto &[idx, group] : groups_)
+        n += group.numApproximate();
+    return n;
+}
+
+SampleSet
+LearnedTable::levelsPerGroup() const
+{
+    SampleSet s;
+    for (const auto &[idx, group] : groups_)
+        s.add(static_cast<double>(group.numLevels()));
+    return s;
+}
+
+SampleSet
+LearnedTable::crbSizes() const
+{
+    SampleSet s;
+    for (const auto &[idx, group] : groups_)
+        s.add(static_cast<double>(group.crb().sizeBytes()));
+    return s;
+}
+
+std::vector<uint8_t>
+LearnedTable::serialize() const
+{
+    std::vector<uint8_t> blob;
+    put<uint32_t>(blob, gamma_);
+    put<uint32_t>(blob, static_cast<uint32_t>(groups_.size()));
+    for (const auto &[idx, group] : groups_) {
+        put<uint32_t>(blob, idx);
+        // Count segments first.
+        uint32_t count = 0;
+        group.forEachSegment([&](const SegEntry &, size_t) { count++; });
+        put<uint32_t>(blob, count);
+        group.forEachSegment([&](const SegEntry &e, size_t level) {
+            put<uint16_t>(blob, static_cast<uint16_t>(level));
+            put<uint8_t>(blob, e.seg.slpa());
+            put<uint8_t>(blob, e.seg.length());
+            put<uint16_t>(blob, e.seg.kbits());
+            put<int32_t>(blob, e.seg.intercept());
+            if (e.seg.approximate()) {
+                const auto &run = group.crb().run(e.id);
+                put<uint16_t>(blob, static_cast<uint16_t>(run.size()));
+                for (uint8_t off : run)
+                    put<uint8_t>(blob, off);
+            }
+        });
+    }
+    return blob;
+}
+
+std::unique_ptr<LearnedTable>
+LearnedTable::deserialize(const std::vector<uint8_t> &blob)
+{
+    size_t at = 0;
+    const uint32_t gamma = get<uint32_t>(blob, at);
+    auto table = std::make_unique<LearnedTable>(gamma);
+    const uint32_t num_groups = get<uint32_t>(blob, at);
+    for (uint32_t g = 0; g < num_groups; g++) {
+        const uint32_t idx = get<uint32_t>(blob, at);
+        const uint32_t count = get<uint32_t>(blob, at);
+        Group &group = table->groups_[idx];
+        for (uint32_t i = 0; i < count; i++) {
+            const uint16_t level = get<uint16_t>(blob, at);
+            const uint8_t slpa = get<uint8_t>(blob, at);
+            const uint8_t length = get<uint8_t>(blob, at);
+            const uint16_t kbits = get<uint16_t>(blob, at);
+            const int32_t intercept = get<int32_t>(blob, at);
+            Segment seg(slpa, length, kbits, intercept);
+            std::vector<uint8_t> run;
+            if (seg.approximate()) {
+                const uint16_t len = get<uint16_t>(blob, at);
+                run.reserve(len);
+                for (uint16_t j = 0; j < len; j++)
+                    run.push_back(get<uint8_t>(blob, at));
+            }
+            group.restoreRaw(level, seg, run);
+        }
+    }
+    return table;
+}
+
+void
+LearnedTable::checkInvariants() const
+{
+    for (const auto &[idx, group] : groups_)
+        group.checkInvariants();
+}
+
+} // namespace leaftl

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The learned address mapping table: the paper's primary contribution
+ * (§3). Partitions the LPA space into 256-LPA groups, each with its
+ * own log-structured segment stack and CRB, and exposes the
+ * learn / lookup / compact API used by the LeaFTL flash translation
+ * layer, plus the statistics the evaluation figures need (segment
+ * counts and types, creation lengths, level depths, CRB sizes,
+ * mapping-memory bytes).
+ */
+
+#ifndef LEAFTL_LEARNED_LEARNED_TABLE_HH
+#define LEAFTL_LEARNED_LEARNED_TABLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "learned/group.hh"
+#include "util/common.hh"
+#include "util/stats.hh"
+
+namespace leaftl
+{
+
+/** Result of a table lookup. */
+struct TableLookup
+{
+    Ppa ppa;
+    bool approximate;
+    uint32_t levels_visited;
+};
+
+/** Creation-time and lookup-time statistics. */
+struct LearnedTableStats
+{
+    uint64_t segments_created = 0;
+    uint64_t accurate_created = 0;
+    uint64_t approximate_created = 0;
+    /** Mappings per segment at creation (Fig. 5). */
+    SampleSet creation_lengths;
+    uint64_t lookups = 0;
+    uint64_t lookup_levels_total = 0;
+    /** Levels visited per lookup (Fig. 23a). */
+    SampleSet lookup_levels;
+};
+
+/** Learned LPA->PPA mapping table (one per SSD). */
+class LearnedTable
+{
+  public:
+    /**
+     * @param gamma Error bound for approximate segments (paper default
+     *              0; evaluated at 0/1/4/16).
+     */
+    explicit LearnedTable(uint32_t gamma);
+
+    uint32_t gamma() const { return gamma_; }
+
+    /**
+     * Learn new mappings from an LPA-sorted run (a write-buffer flush
+     * or a GC migration batch, §3.3/§3.6).
+     *
+     * @param run Strictly increasing LPAs with their new PPAs.
+     * @return Indices of the groups the run touched (for the
+     *         caller's residency/dirtiness bookkeeping, §3.8).
+     */
+    std::vector<uint32_t> learn(const std::vector<std::pair<Lpa, Ppa>> &run);
+
+    /** Translate an LPA; nullopt when never learned. */
+    std::optional<TableLookup> lookup(Lpa lpa) const;
+
+    /** Compact every group (triggered periodically by the FTL, §3.7). */
+    void compact();
+
+    /** Total mapping memory: segments + CRBs (bytes). */
+    size_t memoryBytes() const;
+
+    /** Mapping memory of one group (0 when the group is unknown). */
+    size_t groupBytes(uint32_t group_idx) const;
+
+    /** Visit every group index. */
+    void forEachGroup(const std::function<void(uint32_t)> &fn) const;
+
+    size_t numSegments() const;
+    size_t numApproximate() const;
+    size_t numGroups() const { return groups_.size(); }
+
+    /** Per-group level counts (Fig. 12). */
+    SampleSet levelsPerGroup() const;
+    /** Per-group CRB sizes in bytes (Fig. 10). */
+    SampleSet crbSizes() const;
+
+    const LearnedTableStats &stats() const { return stats_; }
+
+    /**
+     * Serialize all segments and CRB runs to a flat blob (persisted to
+     * translation blocks for crash recovery, §3.8).
+     */
+    std::vector<uint8_t> serialize() const;
+
+    /** Rebuild from a serialize() blob. */
+    static std::unique_ptr<LearnedTable>
+    deserialize(const std::vector<uint8_t> &blob);
+
+    /** Validate invariants of every group (tests). */
+    void checkInvariants() const;
+
+  private:
+    uint32_t gamma_;
+    std::unordered_map<uint32_t, Group> groups_;
+    mutable LearnedTableStats stats_;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_LEARNED_LEARNED_TABLE_HH

@@ -1,0 +1,259 @@
+#include "learned/plr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/float16.hh"
+
+namespace leaftl
+{
+
+namespace
+{
+
+/**
+ * Encode a candidate run [first, last) of points into a Segment and
+ * verify the encoded prediction error. Returns true (and fills @a out)
+ * when the encoding respects the bound; false means the caller must
+ * split the run.
+ */
+bool
+tryEncode(const std::vector<PlrPoint> &pts, size_t first, size_t last,
+          double slope, uint32_t gamma, Segment &out)
+{
+    const size_t n = last - first;
+    LEAFTL_ASSERT(n >= 1, "empty candidate run");
+
+    const uint8_t s = pts[first].off;
+    const uint8_t e = pts[last - 1].off;
+
+    if (n == 1) {
+        out = Segment::makeSinglePoint(s, pts[first].ppa);
+        return true;
+    }
+
+    // Classify: a constant-stride run (with consecutive PPAs) can be an
+    // accurate segment; anything else is approximate.
+    bool constant_stride = true;
+    const uint32_t d0 = pts[first + 1].off - pts[first].off;
+    for (size_t i = first + 1; i < last; i++) {
+        if (static_cast<uint32_t>(pts[i].off - pts[i - 1].off) != d0 ||
+            pts[i].ppa != pts[i - 1].ppa + 1) {
+            constant_stride = false;
+            break;
+        }
+    }
+
+    double k = slope;
+    bool approx = !constant_stride;
+    if (constant_stride)
+        k = 1.0 / d0;
+    k = std::clamp(k, 0.0, 1.0);
+
+    uint16_t kbits = float16Encode(static_cast<float>(k));
+    kbits = float16SetTag(kbits, approx);
+    const double kq = float16Decode(kbits);
+
+    // Choose the integer intercept that centers the rounded errors.
+    double lo = 1e300, hi = -1e300;
+    for (size_t i = first; i < last; i++) {
+        const double resid = pts[i].ppa - kq * pts[i].off;
+        lo = std::min(lo, resid);
+        hi = std::max(hi, resid);
+    }
+    const int64_t icand = std::llround((lo + hi) / 2.0);
+    if (icand < INT32_MIN || icand > INT32_MAX)
+        return false;
+
+    Segment seg(s, static_cast<uint8_t>(e - s), kbits,
+                static_cast<int32_t>(icand));
+
+    // Verify against the *encoded* parameters.
+    const uint32_t bound = approx ? gamma : 0;
+    for (size_t i = first; i < last; i++) {
+        const int64_t pred = seg.predict(pts[i].off);
+        const int64_t err = pred - static_cast<int64_t>(pts[i].ppa);
+        if (std::llabs(err) > bound)
+            return false;
+    }
+    // Accurate segments must also pass the stride membership test used
+    // at lookup time.
+    if (!approx) {
+        for (size_t i = first; i < last; i++) {
+            if (!seg.hasLpaAccurate(pts[i].off))
+                return false;
+        }
+    }
+    out = seg;
+    return true;
+}
+
+/** Emit [first, last) as segments, splitting on encode failure. */
+void
+emitRun(const std::vector<PlrPoint> &pts, size_t first, size_t last,
+        double slope, uint32_t gamma, std::vector<FittedSegment> &out)
+{
+    Segment seg;
+    if (tryEncode(pts, first, last, slope, gamma, seg)) {
+        FittedSegment fs;
+        fs.seg = seg;
+        fs.offs.reserve(last - first);
+        for (size_t i = first; i < last; i++)
+            fs.offs.push_back(pts[i].off);
+        out.push_back(std::move(fs));
+        return;
+    }
+    // Quantization spoiled the bound: split in half and retry. A single
+    // point always encodes, so this terminates.
+    const size_t mid = first + (last - first) / 2;
+    LEAFTL_ASSERT(mid > first && mid < last, "unsplittable run");
+    emitRun(pts, first, mid, slope, gamma, out);
+    emitRun(pts, mid, last, slope, gamma, out);
+}
+
+} // namespace
+
+namespace
+{
+
+/**
+ * Cost model for the choice between one approximate segment and its
+ * gamma = 0 (all-accurate) refit: an approximate segment costs its 8
+ * bytes plus one CRB byte per member and a separator; accurate
+ * segments cost 8 bytes and no CRB. When a "relaxed" fit merely
+ * swallows regular runs, the exact refit is cheaper -- keep it.
+ */
+std::vector<FittedSegment>
+preferCheaperEncoding(const std::vector<PlrPoint> &points,
+                      std::vector<FittedSegment> segs)
+{
+    std::vector<FittedSegment> out;
+    out.reserve(segs.size());
+    size_t pt_idx = 0;
+    for (auto &fs : segs) {
+        const size_t n = fs.offs.size();
+        if (!fs.seg.approximate()) {
+            out.push_back(std::move(fs));
+            pt_idx += n;
+            continue;
+        }
+        const std::vector<PlrPoint> sub(points.begin() + pt_idx,
+                                        points.begin() + pt_idx + n);
+        auto exact = fitGroupSegments(sub, 0);
+        const size_t exact_cost = exact.size() * Segment::kEncodedBytes;
+        const size_t approx_cost = Segment::kEncodedBytes + n + 1;
+        if (exact_cost <= approx_cost) {
+            for (auto &e : exact)
+                out.push_back(std::move(e));
+        } else {
+            out.push_back(std::move(fs));
+        }
+        pt_idx += n;
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<FittedSegment>
+fitGroupSegments(const std::vector<PlrPoint> &points, uint32_t gamma)
+{
+    std::vector<FittedSegment> out;
+    if (points.empty())
+        return out;
+
+    for (size_t i = 1; i < points.size(); i++) {
+        LEAFTL_ASSERT(points[i].off > points[i - 1].off,
+                      "PLR input offsets must strictly increase");
+    }
+
+    // Greedy feasible-slope cone, anchored at the run's first point.
+    size_t first = 0;
+    double lo = 0.0, hi = 1.0;
+    for (size_t i = 1; i <= points.size(); i++) {
+        bool close = (i == points.size());
+        double new_lo = lo, new_hi = hi;
+        if (!close) {
+            const double dx = points[i].off - points[first].off;
+            const double dy = static_cast<double>(points[i].ppa) -
+                              static_cast<double>(points[first].ppa);
+            new_lo = std::max(lo, (dy - gamma) / dx);
+            new_hi = std::min(hi, (dy + gamma) / dx);
+            if (new_lo > new_hi)
+                close = true;
+        }
+        if (close) {
+            const double slope =
+                (first + 1 < i) ? (lo + hi) / 2.0 : 0.0;
+            emitRun(points, first, i, slope, gamma, out);
+            first = i;
+            lo = 0.0;
+            hi = 1.0;
+            if (i < points.size()) {
+                // Re-admit point i as the anchor of the next run.
+                continue;
+            }
+        } else {
+            lo = new_lo;
+            hi = new_hi;
+        }
+    }
+    if (gamma > 0)
+        out = preferCheaperEncoding(points, std::move(out));
+    return out;
+}
+
+std::vector<uint32_t>
+plrRunLengths(const std::vector<std::pair<Lpa, Ppa>> &run, uint32_t gamma)
+{
+    std::vector<uint32_t> lengths;
+    if (run.empty())
+        return lengths;
+
+    size_t first = 0;
+    double lo = 0.0, hi = 1.0;
+    for (size_t i = 1; i <= run.size(); i++) {
+        bool close = (i == run.size());
+        if (!close) {
+            const double dx = static_cast<double>(run[i].first) -
+                              static_cast<double>(run[first].first);
+            const double dy = static_cast<double>(run[i].second) -
+                              static_cast<double>(run[first].second);
+            const double new_lo = std::max(lo, (dy - gamma) / dx);
+            const double new_hi = std::min(hi, (dy + gamma) / dx);
+            if (new_lo > new_hi) {
+                close = true;
+            } else {
+                lo = new_lo;
+                hi = new_hi;
+            }
+        }
+        if (close) {
+            lengths.push_back(static_cast<uint32_t>(i - first));
+            first = i;
+            lo = 0.0;
+            hi = 1.0;
+        }
+    }
+    return lengths;
+}
+
+std::vector<std::pair<uint32_t, std::vector<FittedSegment>>>
+fitRun(const std::vector<std::pair<Lpa, Ppa>> &run, uint32_t gamma)
+{
+    std::vector<std::pair<uint32_t, std::vector<FittedSegment>>> out;
+    size_t i = 0;
+    while (i < run.size()) {
+        const uint32_t group = groupOf(run[i].first);
+        std::vector<PlrPoint> pts;
+        while (i < run.size() && groupOf(run[i].first) == group) {
+            pts.push_back({static_cast<uint8_t>(groupOffset(run[i].first)),
+                           run[i].second});
+            i++;
+        }
+        out.emplace_back(group, fitGroupSegments(pts, gamma));
+    }
+    return out;
+}
+
+} // namespace leaftl

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Greedy error-bounded piecewise linear regression (§3.1–§3.3).
+ *
+ * LeaFTL learns the LPA→PPA mapping of each flushed flash block from
+ * the (LPA-sorted) pages in the SSD write buffer. The fitter consumes
+ * one group's worth of sorted (offset, PPA) points and emits learned
+ * segments whose *encoded* (fp16-slope, integer-intercept) predictions
+ * are verified to respect the configured error bound gamma:
+ *
+ *   - gamma = 0 produces only accurate segments (constant-stride runs,
+ *     since flushed PPAs are consecutive);
+ *   - gamma > 0 additionally produces approximate segments whose
+ *     predictions are within [-gamma, +gamma] pages of the truth.
+ *
+ * The algorithm is the feasible-slope-cone greedy of Xie et al. [64]:
+ * the segment is anchored at its first point and the admissible slope
+ * interval is narrowed per point; when it empties, the segment is
+ * closed and a new one starts. After fitting, every candidate segment
+ * is re-verified against its quantized encoding and split if the bound
+ * is violated (rare; guarantees correctness by construction).
+ */
+
+#ifndef LEAFTL_LEARNED_PLR_HH
+#define LEAFTL_LEARNED_PLR_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "learned/segment.hh"
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** One point to learn: offset within the group and its PPA. */
+struct PlrPoint
+{
+    uint8_t off;
+    Ppa ppa;
+};
+
+/** A fitted segment plus the exact offsets it was learned from. */
+struct FittedSegment
+{
+    Segment seg;
+    /** Offsets covered (exact member list; feeds the CRB when approx). */
+    std::vector<uint8_t> offs;
+};
+
+/**
+ * Fit learned segments over one group's sorted points.
+ *
+ * @param points Strictly increasing offsets; PPAs need not be
+ *               monotonic, though flush batches make them so.
+ * @param gamma Error bound (pages); 0 means exact.
+ * @return Segments in increasing offset order, jointly covering all
+ *         input points exactly once.
+ */
+std::vector<FittedSegment>
+fitGroupSegments(const std::vector<PlrPoint> &points, uint32_t gamma);
+
+/**
+ * Convenience wrapper: split a sorted (LPA, PPA) run at group
+ * boundaries and fit each group.
+ *
+ * @param run Sorted by LPA, strictly increasing.
+ * @param gamma Error bound.
+ * @return Pairs of (group index, fitted segments for that group).
+ */
+std::vector<std::pair<uint32_t, std::vector<FittedSegment>>>
+fitRun(const std::vector<std::pair<Lpa, Ppa>> &run, uint32_t gamma);
+
+/**
+ * Motivation-study helper (Fig. 5): run the greedy cone over a sorted
+ * (LPA, PPA) run *without* group splitting or encoding, and report the
+ * number of mappings each ideal segment would cover. This mirrors the
+ * paper's pre-grouping study where segment lengths reach 2048.
+ */
+std::vector<uint32_t>
+plrRunLengths(const std::vector<std::pair<Lpa, Ppa>> &run, uint32_t gamma);
+
+} // namespace leaftl
+
+#endif // LEAFTL_LEARNED_PLR_HH

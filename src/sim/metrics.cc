@@ -1,0 +1,12 @@
+#include "sim/metrics.hh"
+
+namespace leaftl
+{
+
+double
+normalizeTo(double value, double baseline)
+{
+    return baseline > 0.0 ? value / baseline : 0.0;
+}
+
+} // namespace leaftl

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aggregated results of one simulation run: the metrics the paper's
+ * figures report (average/percentile latency, mapping memory, WAF,
+ * misprediction ratio, lookup depth) plus normalization helpers.
+ */
+
+#ifndef LEAFTL_SIM_METRICS_HH
+#define LEAFTL_SIM_METRICS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ssd/ssd.hh"
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** Results of a Runner::replay. */
+struct RunResult
+{
+    std::string workload;
+    std::string ftl;
+
+    uint64_t requests = 0;
+    uint64_t pages_touched = 0;
+
+    double avg_read_latency_us = 0.0;
+    double p99_read_latency_us = 0.0;
+    double avg_write_latency_us = 0.0;
+    /** Mean over all requests (read+write), the figures' "Perf". */
+    double avg_latency_us = 0.0;
+
+    uint64_t mapping_bytes = 0;      ///< Full mapping size (Fig. 15/19).
+    uint64_t resident_bytes = 0;     ///< DRAM-resident share.
+    uint64_t data_cache_pages = 0;
+
+    double cache_hit_ratio = 0.0;
+    double waf = 0.0;
+    double mispredict_ratio = 0.0;
+    double avg_lookup_levels = 0.0;
+
+    SsdStats ssd; ///< Full counters for detailed reporting.
+};
+
+/** value / baseline with divide-by-zero guard. */
+double normalizeTo(double value, double baseline);
+
+} // namespace leaftl
+
+#endif // LEAFTL_SIM_METRICS_HH

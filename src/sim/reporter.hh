@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table and CDF rendering for the bench binaries: each
+ * bench prints the same rows/series as its paper figure, and these
+ * helpers keep the formatting consistent.
+ */
+
+#ifndef LEAFTL_SIM_REPORTER_HH
+#define LEAFTL_SIM_REPORTER_HH
+
+#include <string>
+#include <vector>
+
+namespace leaftl
+{
+
+/** Fixed-width text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to stdout. */
+    void print() const;
+
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmtBytes(uint64_t bytes);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a CDF as "value fraction" pairs at selected percentiles. */
+void printCdf(const std::string &title,
+              const std::vector<std::pair<double, double>> &cdf,
+              size_t max_points = 40);
+
+} // namespace leaftl
+
+#endif // LEAFTL_SIM_REPORTER_HH

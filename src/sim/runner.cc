@@ -1,0 +1,114 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+
+#include "learned/learned_table.hh"
+#include "util/rng.hh"
+
+namespace leaftl
+{
+
+void
+Runner::prefill(Ssd &ssd, uint64_t pages)
+{
+    const uint64_t limit = std::min<uint64_t>(pages, ssd.config().hostPages());
+    Tick now = 0;
+    for (uint64_t lpa = 0; lpa < limit; lpa++) {
+        now += ssd.write(static_cast<Lpa>(lpa), now);
+    }
+    ssd.drainBuffer(now);
+}
+
+void
+Runner::prefillMixed(Ssd &ssd, uint64_t pages, uint64_t seed)
+{
+    const uint64_t limit = std::min<uint64_t>(pages, ssd.config().hostPages());
+    const uint64_t seq_end = limit * 55 / 100;
+    const uint64_t stride_end = seq_end + limit / 4;
+    Rng rng(seed);
+    Tick now = 0;
+
+    // Sequential region.
+    for (uint64_t lpa = 0; lpa < seq_end; lpa++)
+        now += ssd.write(static_cast<Lpa>(lpa), now);
+    // Strided region (stride 2, two interleaved passes cover it).
+    for (uint64_t lpa = seq_end; lpa < stride_end; lpa += 2)
+        now += ssd.write(static_cast<Lpa>(lpa), now);
+    for (uint64_t lpa = seq_end + 1; lpa < stride_end; lpa += 2)
+        now += ssd.write(static_cast<Lpa>(lpa), now);
+    // Scattered region: random order (sampled with replacement plus a
+    // sweep with random gaps so most pages end up written).
+    const uint64_t scatter = limit - stride_end;
+    for (uint64_t i = 0; i < scatter; i++) {
+        const Lpa lpa =
+            static_cast<Lpa>(stride_end + rng.nextBounded(scatter));
+        now += ssd.write(lpa, now);
+    }
+    ssd.drainBuffer(now);
+}
+
+RunResult
+Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
+{
+    if (opts.prefill_pages > 0) {
+        if (opts.mixed_prefill)
+            prefillMixed(ssd, opts.prefill_pages);
+        else
+            prefill(ssd, opts.prefill_pages);
+    }
+
+    RunResult res;
+    res.workload = workload.name();
+    res.ftl = ssd.ftl().name();
+
+    const uint64_t host_pages = ssd.config().hostPages();
+
+    Tick now = 0;
+    double lat_sum = 0.0;
+    IoRequest req;
+    while (workload.next(req)) {
+        now = std::max(now, req.arrival);
+        Tick req_lat = 0;
+        for (uint32_t i = 0; i < req.npages; i++) {
+            const Lpa lpa = (req.lpa + i) % host_pages;
+            const Tick lat = req.op == Op::Read ? ssd.read(lpa, now)
+                                                : ssd.write(lpa, now);
+            req_lat = std::max(req_lat, lat);
+            res.pages_touched++;
+        }
+        lat_sum += static_cast<double>(req_lat);
+        now += req_lat;
+        res.requests++;
+    }
+    if (opts.drain_at_end)
+        ssd.drainBuffer(now);
+
+    const SsdStats &st = ssd.stats();
+    res.ssd = st;
+    res.avg_read_latency_us = st.read_latency.mean() / 1000.0;
+    res.p99_read_latency_us = st.read_latency.percentile(99.0) / 1000.0;
+    res.avg_write_latency_us = st.write_latency.mean() / 1000.0;
+    res.avg_latency_us =
+        res.requests ? lat_sum / res.requests / 1000.0 : 0.0;
+
+    res.mapping_bytes = ssd.ftl().fullMappingBytes();
+    res.resident_bytes = ssd.ftl().residentMappingBytes();
+    res.data_cache_pages = ssd.dataCachePages();
+
+    const uint64_t hits = ssd.dataCacheHits();
+    const uint64_t total = hits + ssd.dataCacheMisses();
+    res.cache_hit_ratio = total ? static_cast<double>(hits) / total : 0.0;
+    res.waf = st.waf();
+    res.mispredict_ratio = st.mispredictRatio();
+
+    if (const auto *table = ssd.ftl().learnedTable()) {
+        const auto &ls = table->stats();
+        res.avg_lookup_levels =
+            ls.lookups ? static_cast<double>(ls.lookup_levels_total) /
+                             ls.lookups
+                       : 0.0;
+    }
+    return res;
+}
+
+} // namespace leaftl

@@ -1,0 +1,169 @@
+#include "ssd/block_manager.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.hh"
+
+namespace leaftl
+{
+
+BlockManager::BlockManager(FlashArray &flash)
+    : flash_(flash),
+      valid_count_(flash.geometry().totalBlocks(), 0),
+      in_free_pool_(flash.geometry().totalBlocks(), true)
+{
+    const Geometry &geom = flash.geometry();
+    pvt_.reserve(geom.totalBlocks());
+    std::vector<uint32_t> order;
+    for (uint32_t b = 0; b < geom.totalBlocks(); b++) {
+        pvt_.emplace_back(geom.pages_per_block);
+        order.push_back(b);
+    }
+    // Shuffle the initial pool (deterministically): consecutive
+    // allocations must not yield numerically adjacent blocks, or
+    // cross-block PPA contiguity would arise that no real allocator
+    // guarantees (PPAs are only contiguous within a block).
+    Rng rng(0x5EEDB10C);
+    for (size_t i = order.size(); i > 1; i--)
+        std::swap(order[i - 1], order[rng.nextBounded(i)]);
+    for (uint32_t b : order)
+        free_pool_.push_back(b);
+}
+
+uint32_t
+BlockManager::allocateBlock()
+{
+    LEAFTL_ASSERT(!free_pool_.empty(),
+                  "free-block pool exhausted: GC failed to reclaim space");
+    const uint32_t block = free_pool_.front();
+    free_pool_.pop_front();
+    in_free_pool_[block] = false;
+    LEAFTL_ASSERT(flash_.blockState(block) == BlockState::Free,
+                  "allocated block not erased");
+    return block;
+}
+
+void
+BlockManager::releaseBlock(uint32_t block)
+{
+    LEAFTL_ASSERT(!in_free_pool_[block], "double release of block");
+    LEAFTL_ASSERT(valid_count_[block] == 0,
+                  "releasing block with valid pages");
+    pvt_[block].resize(flash_.geometry().pages_per_block);
+    free_pool_.push_back(block);
+    in_free_pool_[block] = true;
+}
+
+void
+BlockManager::markValid(Ppa ppa)
+{
+    const uint32_t block = flash_.geometry().blockOf(ppa);
+    const uint32_t page = flash_.geometry().pageInBlock(ppa);
+    LEAFTL_ASSERT(!pvt_[block].test(page), "page already valid");
+    pvt_[block].set(page);
+    valid_count_[block]++;
+}
+
+void
+BlockManager::invalidate(Ppa ppa)
+{
+    const uint32_t block = flash_.geometry().blockOf(ppa);
+    const uint32_t page = flash_.geometry().pageInBlock(ppa);
+    LEAFTL_ASSERT(pvt_[block].test(page), "invalidating non-valid page");
+    pvt_[block].clear(page);
+    LEAFTL_ASSERT(valid_count_[block] > 0, "BVC underflow");
+    valid_count_[block]--;
+}
+
+bool
+BlockManager::isValid(Ppa ppa) const
+{
+    const uint32_t block = flash_.geometry().blockOf(ppa);
+    return pvt_[block].test(flash_.geometry().pageInBlock(ppa));
+}
+
+uint32_t
+BlockManager::validCount(uint32_t block) const
+{
+    return valid_count_[block];
+}
+
+std::optional<uint32_t>
+BlockManager::pickGcVictim(const std::vector<uint32_t> &exclude) const
+{
+    uint32_t best = 0;
+    uint32_t best_count = std::numeric_limits<uint32_t>::max();
+    bool found = false;
+    for (uint32_t b = 0; b < valid_count_.size(); b++) {
+        if (in_free_pool_[b] || flash_.blockState(b) == BlockState::Free)
+            continue;
+        if (std::find(exclude.begin(), exclude.end(), b) != exclude.end())
+            continue;
+        if (valid_count_[b] < best_count) {
+            best = b;
+            best_count = valid_count_[b];
+            found = true;
+        }
+    }
+    if (!found)
+        return std::nullopt;
+    return best;
+}
+
+std::optional<uint32_t>
+BlockManager::pickWearVictim(uint32_t threshold) const
+{
+    if (eraseSpread() <= threshold)
+        return std::nullopt;
+    // The coldest data: the full block with the lowest erase count.
+    uint32_t best = 0;
+    uint32_t best_erase = std::numeric_limits<uint32_t>::max();
+    bool found = false;
+    for (uint32_t b = 0; b < valid_count_.size(); b++) {
+        if (in_free_pool_[b] || flash_.blockState(b) != BlockState::Full)
+            continue;
+        if (flash_.eraseCount(b) < best_erase) {
+            best = b;
+            best_erase = flash_.eraseCount(b);
+            found = true;
+        }
+    }
+    if (!found)
+        return std::nullopt;
+    return best;
+}
+
+double
+BlockManager::freeFraction() const
+{
+    return static_cast<double>(free_pool_.size()) /
+           flash_.geometry().totalBlocks();
+}
+
+std::vector<std::pair<Lpa, Ppa>>
+BlockManager::validPages(uint32_t block) const
+{
+    std::vector<std::pair<Lpa, Ppa>> pages;
+    const Geometry &geom = flash_.geometry();
+    const Ppa first = geom.firstPpa(block);
+    for (uint32_t i = 0; i < geom.pages_per_block; i++) {
+        if (pvt_[block].test(i))
+            pages.emplace_back(flash_.peekLpa(first + i), first + i);
+    }
+    return pages;
+}
+
+uint32_t
+BlockManager::eraseSpread() const
+{
+    uint32_t lo = std::numeric_limits<uint32_t>::max();
+    uint32_t hi = 0;
+    for (uint32_t b = 0; b < valid_count_.size(); b++) {
+        lo = std::min(lo, flash_.eraseCount(b));
+        hi = std::max(hi, flash_.eraseCount(b));
+    }
+    return hi - lo;
+}
+
+} // namespace leaftl

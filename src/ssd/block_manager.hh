@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Flash block management: the free-block pool, the Block Validity
+ * Counter (BVC) and Page Validity Table (PVT) of Fig. 3, greedy GC
+ * victim selection (§3.6), and wear-leveling bookkeeping.
+ */
+
+#ifndef LEAFTL_SSD_BLOCK_MANAGER_HH
+#define LEAFTL_SSD_BLOCK_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "flash/flash_array.hh"
+#include "util/bitmap.hh"
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** Free pool + validity metadata + GC victim policy. */
+class BlockManager
+{
+  public:
+    explicit BlockManager(FlashArray &flash);
+
+    /**
+     * Allocate a free block for data writes (round-robin over the free
+     * pool, which naturally stripes across channels).
+     * @return Block id; aborts if the pool is empty (GC must keep it
+     *         non-empty -- an emptied pool is an invariant violation).
+     */
+    uint32_t allocateBlock();
+
+    /** Return an erased block to the free pool. */
+    void releaseBlock(uint32_t block);
+
+    /** Mark a freshly programmed page valid (updates PVT + BVC). */
+    void markValid(Ppa ppa);
+
+    /** Invalidate a page whose LPA was overwritten or migrated. */
+    void invalidate(Ppa ppa);
+
+    bool isValid(Ppa ppa) const;
+
+    /** Valid-page count of a block (the BVC). */
+    uint32_t validCount(uint32_t block) const;
+
+    /**
+     * Greedy GC victim: the programmed (Open or Full), non-free block
+     * with the fewest valid pages (§3.6). Blocks in @a exclude are
+     * skipped (multi-victim GC passes). @return nullopt when no
+     * candidate exists.
+     */
+    std::optional<uint32_t>
+    pickGcVictim(const std::vector<uint32_t> &exclude = {}) const;
+
+    /**
+     * Wear-leveling candidate pair: (coldest full block, spread) when
+     * the erase-count spread exceeds @a threshold.
+     */
+    std::optional<uint32_t> pickWearVictim(uint32_t threshold) const;
+
+    size_t freeBlocks() const { return free_pool_.size(); }
+    double freeFraction() const;
+
+    /** Valid LPAs of a block in PPA order (GC migration source). */
+    std::vector<std::pair<Lpa, Ppa>> validPages(uint32_t block) const;
+
+    /** Erase-count spread across all blocks (wear-leveling metric). */
+    uint32_t eraseSpread() const;
+
+  private:
+    FlashArray &flash_;
+    std::deque<uint32_t> free_pool_;
+    std::vector<uint32_t> valid_count_; ///< BVC.
+    std::vector<Bitmap> pvt_;           ///< Per-block validity bitmap.
+    std::vector<bool> in_free_pool_;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_SSD_BLOCK_MANAGER_HH

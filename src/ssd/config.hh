@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Top-level SSD configuration: geometry, latencies, DRAM budget and
+ * its split policy, FTL selection, and the LeaFTL knobs (gamma,
+ * compaction interval). Defaults follow Table 1 of the paper scaled
+ * down to simulation-friendly sizes; every bench sets its own values.
+ */
+
+#ifndef LEAFTL_SSD_CONFIG_HH
+#define LEAFTL_SSD_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "flash/geometry.hh"
+#include "flash/timing.hh"
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** Which flash translation layer to instantiate. */
+enum class FtlKind
+{
+    DFTL,   ///< Demand-cached page-level mapping [20].
+    SFTL,   ///< Spatial-locality compressed mapping [25].
+    LeaFTL, ///< Learned mapping (this paper).
+};
+
+const char *ftlKindName(FtlKind kind);
+
+/**
+ * How the DRAM budget is split between the mapping structures and the
+ * data cache (the two settings of Fig. 16).
+ */
+enum class DramPolicy
+{
+    /** Mapping takes what it needs (up to 98%); cache gets the rest. */
+    MappingFirst,
+    /** Mapping is capped at 80%; the cache keeps at least 20%. */
+    CacheFloor20,
+};
+
+/** Full device configuration. */
+struct SsdConfig
+{
+    Geometry geometry;
+    LatencyConfig latency;
+
+    FtlKind ftl = FtlKind::LeaFTL;
+
+    /** In-device DRAM (mapping + data cache), bytes. */
+    uint64_t dram_bytes = 64ull << 20;
+    DramPolicy dram_policy = DramPolicy::MappingFirst;
+
+    /** Write (data) buffer, bytes (paper default 8 MB). */
+    uint64_t write_buffer_bytes = 8ull << 20;
+
+    /** Overprovisioned fraction of raw capacity (paper: 20%). */
+    double overprovisioning = 0.20;
+
+    /** GC starts when free blocks drop below this fraction. */
+    double gc_free_threshold = 0.15;
+
+    /** Error bound for learned segments (paper default 0). */
+    uint32_t gamma = 0;
+
+    /** LeaFTL segment compaction interval, in host writes (§3.7). */
+    uint64_t compaction_interval = 1'000'000;
+
+    /**
+     * Sort buffer flushes by LPA (§3.3, Fig. 7). Disabling is an
+     * ablation: unsorted flushes break PPA monotonicity and inflate
+     * the learned table.
+     */
+    bool sort_flush = true;
+
+    /** Wear-leveling: trigger when erase-count spread exceeds this. */
+    uint32_t wear_delta_threshold = 64;
+
+    /** Host-visible capacity in pages (raw minus overprovisioning). */
+    uint64_t hostPages() const;
+
+    /** Host-visible capacity in bytes. */
+    uint64_t hostBytes() const { return hostPages() * geometry.page_size; }
+
+    /** Abort on inconsistent settings. */
+    void validate() const;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_SSD_CONFIG_HH

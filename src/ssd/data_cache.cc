@@ -1,0 +1,64 @@
+#include "ssd/data_cache.hh"
+
+namespace leaftl
+{
+
+DataCache::DataCache(uint64_t capacity_pages) : capacity_(capacity_pages)
+{
+}
+
+bool
+DataCache::lookup(Lpa lpa)
+{
+    auto it = map_.find(lpa);
+    if (it == map_.end()) {
+        misses_++;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hits_++;
+    return true;
+}
+
+void
+DataCache::insert(Lpa lpa)
+{
+    if (capacity_ == 0)
+        return;
+    auto it = map_.find(lpa);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(lpa);
+    map_[lpa] = lru_.begin();
+    evictToCapacity();
+}
+
+void
+DataCache::invalidate(Lpa lpa)
+{
+    auto it = map_.find(lpa);
+    if (it == map_.end())
+        return;
+    lru_.erase(it->second);
+    map_.erase(it);
+}
+
+void
+DataCache::setCapacity(uint64_t capacity_pages)
+{
+    capacity_ = capacity_pages;
+    evictToCapacity();
+}
+
+void
+DataCache::evictToCapacity()
+{
+    while (map_.size() > capacity_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+} // namespace leaftl

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * LRU read cache over flash pages (§3.9 extends WiscSim with an
+ * LRU-based read-write cache; writes here are absorbed by the write
+ * buffer, so the cache holds clean pages only).
+ *
+ * The cache capacity is *dynamic*: the SSD recomputes it whenever the
+ * mapping structures grow or shrink, implementing the paper's central
+ * trade-off -- every byte saved on the mapping table becomes data
+ * cache (§4.2).
+ */
+
+#ifndef LEAFTL_SSD_DATA_CACHE_HH
+#define LEAFTL_SSD_DATA_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** Page-granular LRU cache with adjustable capacity. */
+class DataCache
+{
+  public:
+    explicit DataCache(uint64_t capacity_pages);
+
+    /** Lookup; promotes to MRU on hit. */
+    bool lookup(Lpa lpa);
+
+    /** Insert (or refresh) a page; evicts LRU pages beyond capacity. */
+    void insert(Lpa lpa);
+
+    /** Drop a page (e.g. the LPA was overwritten). */
+    void invalidate(Lpa lpa);
+
+    /** Resize; shrinking evicts immediately. */
+    void setCapacity(uint64_t capacity_pages);
+
+    uint64_t capacity() const { return capacity_; }
+    uint64_t size() const { return map_.size(); }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    void evictToCapacity();
+
+    uint64_t capacity_;
+    std::list<Lpa> lru_; ///< Front = MRU.
+    std::unordered_map<Lpa, std::list<Lpa>::iterator> map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_SSD_DATA_CACHE_HH

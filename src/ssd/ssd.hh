@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The simulated SSD device (§2 Fig. 2, §3.8): write buffer, data
+ * cache, FTL, block manager, GC, wear leveling, channel timing, and
+ * the DRAM budget split between mapping structures and the data cache.
+ *
+ * The host-facing API is page-granular read/write with a timestamp;
+ * both return the request's service latency. Writes are acknowledged
+ * at DRAM speed once buffered; buffer flushes, GC, and wear leveling
+ * occupy flash channels in the background and delay later requests
+ * that hit the same channels.
+ */
+
+#ifndef LEAFTL_SSD_SSD_HH
+#define LEAFTL_SSD_SSD_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "flash/flash_array.hh"
+#include "flash/timing.hh"
+#include "ftl/ftl.hh"
+#include "ssd/block_manager.hh"
+#include "ssd/config.hh"
+#include "ssd/data_cache.hh"
+#include "ssd/write_buffer.hh"
+#include "util/common.hh"
+#include "util/stats.hh"
+
+namespace leaftl
+{
+
+/** Device-level statistics. */
+struct SsdStats
+{
+    uint64_t host_reads = 0;
+    uint64_t host_writes = 0;
+
+    uint64_t buffer_read_hits = 0;
+    uint64_t unmapped_reads = 0;
+    uint64_t host_trims = 0;
+    /**
+     * Reads whose translation could not be resolved to a valid page
+     * (stale post-crash mapping of a trimmed LPA); served as zeros.
+     * Always zero in trim-free workloads -- the correctness tests
+     * assert that.
+     */
+    uint64_t unresolved_reads = 0;
+
+    uint64_t data_reads = 0;  ///< Flash reads on the host read path.
+    uint64_t data_writes = 0; ///< Flash programs from buffer flushes.
+
+    uint64_t gc_runs = 0;
+    uint64_t gc_reads = 0;
+    uint64_t gc_writes = 0;
+    uint64_t gc_erases = 0;
+    uint64_t wear_migrations = 0;
+
+    uint64_t trans_reads = 0;
+    uint64_t trans_writes = 0;
+
+    uint64_t mispredictions = 0;
+    uint64_t mispredict_extra_reads = 0;
+    uint64_t translations = 0; ///< FTL translations that found a mapping.
+
+    uint64_t compactions = 0;
+
+    LatencyHistogram read_latency{100.0, 1.05, 400};
+    LatencyHistogram write_latency{100.0, 1.05, 400};
+
+    /** Write amplification factor (Fig. 25). */
+    double
+    waf() const
+    {
+        const uint64_t actual = data_writes + gc_writes + trans_writes +
+                                wear_migration_writes();
+        return host_writes ? static_cast<double>(actual) / host_writes : 0.0;
+    }
+
+    uint64_t wear_migration_writes() const { return wear_writes; }
+    uint64_t wear_writes = 0;
+    uint64_t wear_reads = 0;
+
+    /** Misprediction ratio over mapped translations (Fig. 24). */
+    double
+    mispredictRatio() const
+    {
+        return translations
+                   ? static_cast<double>(mispredictions) / translations
+                   : 0.0;
+    }
+};
+
+/** Recovery statistics (§5, recovery discussion). */
+struct RecoveryStats
+{
+    uint64_t scanned_blocks = 0;
+    uint64_t scanned_pages = 0;
+    uint64_t relearned_mappings = 0;
+    Tick recovery_time = 0;
+};
+
+/** The simulated device. */
+class Ssd : public FtlOps
+{
+  public:
+    explicit Ssd(const SsdConfig &cfg);
+    ~Ssd() override;
+
+    /** Host page read. @return service latency. */
+    Tick read(Lpa lpa, Tick now);
+
+    /** Host page write. @return service latency (buffer admission). */
+    Tick write(Lpa lpa, Tick now);
+
+    /**
+     * TRIM/deallocate a page: invalidates the backing flash page (so
+     * GC can reclaim it without migration) and unmaps the LPA.
+     * @return service latency.
+     */
+    Tick trim(Lpa lpa, Tick now);
+
+    /** Force out buffered writes (shutdown / tests). */
+    void drainBuffer(Tick now);
+
+    /**
+     * Persist the mapping table + BVC snapshot (LeaFTL recovery
+     * anchor, §3.8). No-op for DFTL/SFTL (their translation pages are
+     * already on flash).
+     */
+    void persistMapping(Tick now);
+
+    /**
+     * Simulate a crash: volatile state (mapping table, caches) is
+     * lost and rebuilt from the last persisted snapshot plus an OOB
+     * scan of blocks allocated since (§3.8).
+     */
+    RecoveryStats crashAndRecover(Tick now);
+
+    const SsdConfig &config() const { return cfg_; }
+    const SsdStats &stats() const { return stats_; }
+    Ftl &ftl() { return *ftl_; }
+    const Ftl &ftl() const { return *ftl_; }
+    FlashArray &flash() { return flash_; }
+    const BlockManager &blocks() const { return blocks_; }
+
+    /** Current data-cache capacity in pages (after the DRAM split). */
+    uint64_t dataCachePages() const { return cache_.capacity(); }
+    uint64_t dataCacheHits() const { return cache_.hits(); }
+    uint64_t dataCacheMisses() const { return cache_.misses(); }
+
+    /** Exact current PPA of an LPA, or nullopt (test oracle; free). */
+    std::optional<Ppa> oraclePpa(Lpa lpa) const;
+
+    // FtlOps:
+    void chargeTransRead() override;
+    void chargeTransWrite() override;
+
+  private:
+    void flushBuffer(Tick now);
+    /** Feed a programmed host batch to the FTL (honoring sort_flush). */
+    void recordHostMappings(const std::vector<std::pair<Lpa, Ppa>> &run);
+    void maybeGc(Tick now);
+    /**
+     * One GC pass: greedily select min-valid victims until erasing
+     * them reclaims at least one net block, migrate their survivors
+     * (sorted by LPA, relearned, §3.6), erase and release.
+     * @return true when at least one net block was reclaimed.
+     */
+    bool doGcPass(Tick now);
+    void maybeWearLevel(Tick now);
+    /** Migrate one block's valid pages (wear-leveling path). */
+    void migrateBlock(uint32_t victim, Tick now, bool wear);
+    void updateDramSplit();
+
+    /**
+     * Resolve the exact PPA behind a (possibly approximate)
+     * translation, charging the extra flash read(s) the paper's OOB
+     * scheme needs (§3.5). @a already_read indicates the device has
+     * just read @a predicted (so its OOB is in hand for free).
+     * @return kInvalidPpa when no valid page carries the LPA (stale
+     *         mapping of a trimmed page after recovery).
+     */
+    Ppa resolveExact(Lpa lpa, Ppa predicted, bool already_read);
+
+    /** Who is writing (for per-path flash write accounting). */
+    enum class WriteKind
+    {
+        Host,
+        Gc,
+        Wear,
+    };
+
+    /** Program a sorted batch of LPAs into fresh blocks. */
+    std::vector<std::pair<Lpa, Ppa>>
+    programBatch(const std::vector<Lpa> &lpas, Tick now, WriteKind kind);
+
+    SsdConfig cfg_;
+    FlashArray flash_;
+    ChannelTimer channels_;
+    BlockManager blocks_;
+    WriteBuffer buffer_;
+    DataCache cache_;
+    std::unique_ptr<Ftl> ftl_;
+
+    SsdStats stats_;
+
+    /** Time cursor for the operation currently being charged. */
+    Tick cur_time_ = 0;
+    /** Round-robin channel for translation metadata I/O. */
+    uint32_t trans_channel_rr_ = 0;
+
+    uint64_t writes_since_compaction_ = 0;
+    uint64_t flushes_since_wear_check_ = 0;
+
+    /** Recovery snapshot (LeaFTL). */
+    std::vector<uint8_t> persisted_table_;
+    std::vector<uint32_t> blocks_since_persist_;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_SSD_SSD_HH

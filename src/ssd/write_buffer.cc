@@ -1,0 +1,58 @@
+#include "ssd/write_buffer.hh"
+
+#include <algorithm>
+
+namespace leaftl
+{
+
+WriteBuffer::WriteBuffer(uint32_t capacity_pages) : capacity_(capacity_pages)
+{
+    LEAFTL_ASSERT(capacity_pages > 0, "write buffer needs capacity");
+    set_.reserve(capacity_pages * 2);
+}
+
+bool
+WriteBuffer::add(Lpa lpa)
+{
+    const bool fresh = set_.insert(lpa).second;
+    if (fresh)
+        order_.push_back(lpa);
+    return fresh;
+}
+
+bool
+WriteBuffer::remove(Lpa lpa)
+{
+    // The arrival-order list keeps a stale entry; drainFifo filters
+    // against the set, so removal here is O(1).
+    return set_.erase(lpa) != 0;
+}
+
+std::vector<Lpa>
+WriteBuffer::drainSorted()
+{
+    std::vector<Lpa> lpas(set_.begin(), set_.end());
+    std::sort(lpas.begin(), lpas.end());
+    set_.clear();
+    order_.clear();
+    return lpas;
+}
+
+std::vector<Lpa>
+WriteBuffer::drainFifo()
+{
+    // Filter the arrival list against the live set: removed (trimmed)
+    // LPAs and re-added duplicates drop out here.
+    std::vector<Lpa> lpas;
+    lpas.reserve(set_.size());
+    std::unordered_set<Lpa> seen;
+    for (Lpa lpa : order_) {
+        if (set_.count(lpa) && seen.insert(lpa).second)
+            lpas.push_back(lpa);
+    }
+    order_.clear();
+    set_.clear();
+    return lpas;
+}
+
+} // namespace leaftl

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Compact dynamic bitmap used by the page validity table (PVT) and by
+ * the segment-merge procedure (Algorithm 2 reconstructs segments into
+ * temporary bitmaps before subtracting overlaps).
+ */
+
+#ifndef LEAFTL_UTIL_BITMAP_HH
+#define LEAFTL_UTIL_BITMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace leaftl
+{
+
+/** Fixed-size bitmap with popcount and first/last-set queries. */
+class Bitmap
+{
+  public:
+    Bitmap() = default;
+    explicit Bitmap(uint32_t num_bits);
+
+    void resize(uint32_t num_bits);
+
+    void set(uint32_t i);
+    void clear(uint32_t i);
+    bool test(uint32_t i) const;
+
+    uint32_t size() const { return num_bits_; }
+    uint32_t popcount() const;
+
+    /** Index of the first set bit, or size() if none. */
+    uint32_t firstSet() const;
+    /** Index of the last set bit, or size() if none. */
+    uint32_t lastSet() const;
+    bool none() const { return popcount() == 0; }
+
+    /** In-place this &= ~other (subtract overlap, Algorithm 2 line 19). */
+    void subtract(const Bitmap &other);
+
+  private:
+    uint32_t num_bits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_UTIL_BITMAP_HH

@@ -1,0 +1,19 @@
+#include "util/common.hh"
+
+#include <cstdio>
+
+namespace leaftl
+{
+namespace detail
+{
+
+void
+die(const char *kind, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", kind, file, line, msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace leaftl

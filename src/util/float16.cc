@@ -1,0 +1,83 @@
+#include "util/float16.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace leaftl
+{
+
+uint16_t
+float16Encode(float value)
+{
+    uint32_t f;
+    std::memcpy(&f, &value, sizeof(f));
+
+    const uint32_t sign = (f >> 16) & 0x8000u;
+    int32_t exp = static_cast<int32_t>((f >> 23) & 0xFFu) - 127 + 15;
+    uint32_t mant = f & 0x7FFFFFu;
+
+    if (exp >= 31) {
+        // Overflow (or inf/nan input): saturate to infinity / quiet NaN.
+        if (((f >> 23) & 0xFFu) == 255 && mant != 0)
+            return static_cast<uint16_t>(sign | 0x7E00u);
+        return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+
+    if (exp <= 0) {
+        // Subnormal half (or zero). Shift mantissa (with hidden bit) right.
+        if (exp < -10)
+            return static_cast<uint16_t>(sign);
+        mant |= 0x800000u;
+        const int shift = 14 - exp;
+        uint32_t half_mant = mant >> shift;
+        // Round to nearest even.
+        const uint32_t rem = mant & ((1u << shift) - 1);
+        const uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1)))
+            half_mant++;
+        return static_cast<uint16_t>(sign | half_mant);
+    }
+
+    // Normalized half. Round the 23-bit mantissa to 10 bits, nearest even.
+    uint32_t half_mant = mant >> 13;
+    const uint32_t rem = mant & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1)))
+        half_mant++;
+    uint32_t bits = sign | (static_cast<uint32_t>(exp) << 10) | half_mant;
+    // Mantissa carry can bump the exponent; the bit layout handles it.
+    return static_cast<uint16_t>(bits);
+}
+
+float
+float16Decode(uint16_t bits)
+{
+    const uint32_t sign = (bits & 0x8000u) << 16;
+    const uint32_t exp = (bits >> 10) & 0x1Fu;
+    const uint32_t mant = bits & 0x3FFu;
+
+    uint32_t f;
+    if (exp == 0) {
+        if (mant == 0) {
+            f = sign;
+        } else {
+            // Subnormal: normalize.
+            int e = -1;
+            uint32_t m = mant;
+            do {
+                m <<= 1;
+                e++;
+            } while ((m & 0x400u) == 0);
+            f = sign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+        }
+    } else if (exp == 31) {
+        f = sign | 0x7F800000u | (mant << 13);
+    } else {
+        f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+    }
+
+    float out;
+    std::memcpy(&out, &f, sizeof(out));
+    return out;
+}
+
+} // namespace leaftl

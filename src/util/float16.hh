@@ -1,0 +1,47 @@
+/**
+ * @file
+ * IEEE 754 binary16 (half-precision) conversion helpers.
+ *
+ * LeaFTL stores the slope K of a learned segment as a 16-bit float and
+ * reuses the least-significant mantissa bit as the segment-type tag
+ * (0 = accurate, 1 = approximate, §3.2). The tag perturbs K by at most
+ * one ulp; segment construction re-verifies predictions against the
+ * tagged encoding, so the perturbation can never break the error bound.
+ */
+
+#ifndef LEAFTL_UTIL_FLOAT16_HH
+#define LEAFTL_UTIL_FLOAT16_HH
+
+#include <cstdint>
+
+namespace leaftl
+{
+
+/**
+ * Encode a float as IEEE 754 binary16 (round-to-nearest-even).
+ *
+ * @param value Finite float; slopes in LeaFTL satisfy 0 <= K <= 1.
+ * @return The 16-bit encoding.
+ */
+uint16_t float16Encode(float value);
+
+/** Decode an IEEE 754 binary16 value to float. */
+float float16Decode(uint16_t bits);
+
+/** Set the least-significant mantissa bit (type tag) of a half float. */
+inline uint16_t
+float16SetTag(uint16_t bits, bool tag)
+{
+    return tag ? (bits | 1u) : (bits & ~1u);
+}
+
+/** Read the least-significant mantissa bit (type tag) of a half float. */
+inline bool
+float16Tag(uint16_t bits)
+{
+    return (bits & 1u) != 0;
+}
+
+} // namespace leaftl
+
+#endif // LEAFTL_UTIL_FLOAT16_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used across the
+ * simulator and workload generators.
+ *
+ * A small xoshiro256** implementation keeps results reproducible across
+ * platforms and standard-library versions (std::mt19937 distributions
+ * are not portable across implementations).
+ */
+
+#ifndef LEAFTL_UTIL_RNG_HH
+#define LEAFTL_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace leaftl
+{
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Uniform 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool nextBool(double p);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_UTIL_RNG_HH

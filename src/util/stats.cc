@@ -1,0 +1,127 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    count_++;
+}
+
+void
+SampleSet::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / samples_.size();
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double rank = (p / 100.0) * (samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - lo;
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+SampleSet::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+LatencyHistogram::LatencyHistogram(double min_value, double growth,
+                                   int num_buckets)
+    : min_value_(min_value),
+      log_growth_(std::log(growth)),
+      buckets_(num_buckets, 0)
+{
+    LEAFTL_ASSERT(min_value > 0 && growth > 1.0 && num_buckets > 1,
+                  "invalid histogram parameters");
+}
+
+double
+LatencyHistogram::bucketLow(int i) const
+{
+    return min_value_ * std::exp(log_growth_ * i);
+}
+
+void
+LatencyHistogram::add(double x)
+{
+    total_++;
+    sum_ += x;
+    max_ = std::max(max_, x);
+    int idx = 0;
+    if (x > min_value_)
+        idx = static_cast<int>(std::log(x / min_value_) / log_growth_) + 1;
+    idx = std::clamp(idx, 0, static_cast<int>(buckets_.size()) - 1);
+    buckets_[idx]++;
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    const double target = (p / 100.0) * total_;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < buckets_.size(); i++) {
+        cum += buckets_[i];
+        if (cum >= target)
+            return bucketLow(static_cast<int>(i));
+    }
+    return max_;
+}
+
+std::vector<std::pair<double, double>>
+LatencyHistogram::cdf() const
+{
+    std::vector<std::pair<double, double>> out;
+    if (total_ == 0)
+        return out;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < buckets_.size(); i++) {
+        if (buckets_[i] == 0)
+            continue;
+        cum += buckets_[i];
+        out.emplace_back(bucketLow(static_cast<int>(i)),
+                         static_cast<double>(cum) / total_);
+    }
+    return out;
+}
+
+} // namespace leaftl

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight statistics utilities: running counters, mean/percentile
+ * summaries, and a log-bucketed latency histogram for CDF reporting
+ * (Figs. 18 and 23 in the paper).
+ */
+
+#ifndef LEAFTL_UTIL_STATS_HH
+#define LEAFTL_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leaftl
+{
+
+/** Running mean/min/max over double samples (O(1) memory). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Exact-percentile summary: stores all samples. Use only where sample
+ * counts are modest (per-group sizes, level counts).
+ */
+class SampleSet
+{
+  public:
+    void add(double x);
+
+    uint64_t count() const { return samples_.size(); }
+    double mean() const;
+    double percentile(double p) const; ///< p in [0, 100].
+    double max() const;
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Log-bucketed histogram for latency CDFs. Buckets grow geometrically
+ * from @a min_value; percentile error is bounded by the growth factor.
+ */
+class LatencyHistogram
+{
+  public:
+    explicit LatencyHistogram(double min_value = 100.0,
+                              double growth = 1.05,
+                              int num_buckets = 400);
+
+    void add(double x);
+
+    uint64_t count() const { return total_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    double max() const { return max_; }
+    /** Approximate value at percentile p (p in [0, 100]). */
+    double percentile(double p) const;
+
+    /** CDF points (value, cumulative fraction) for reporting. */
+    std::vector<std::pair<double, double>> cdf() const;
+
+  private:
+    double bucketLow(int i) const;
+
+    double min_value_;
+    double log_growth_;
+    std::vector<uint64_t> buckets_;
+    uint64_t total_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_UTIL_STATS_HH

@@ -1,0 +1,81 @@
+#include "workload/app_models.hh"
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+const std::vector<std::string> &
+appWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "SEATS", "AMark", "TPCC", "OLTP", "CompF",
+    };
+    return names;
+}
+
+MixSpec
+appSpec(const std::string &name, uint64_t working_set_pages,
+        uint64_t num_requests)
+{
+    MixSpec s;
+    s.name = name;
+    s.working_set_pages = working_set_pages;
+    s.num_requests = num_requests;
+    s.seed = 0xBEEF ^ std::hash<std::string>{}(name);
+
+    if (name == "SEATS") {
+        // Airline ticketing: skewed point queries + updates, redo log.
+        s.read_ratio = 0.60;
+        s.p_seq = 0.10;
+        s.seq_len_mean = 16;
+        s.p_log = 0.15;
+        s.zipf_theta = 0.85;
+        s.req_pages_mean = 1;
+    } else if (name == "AMark") {
+        // AuctionMark: hot items, heavier writes than SEATS.
+        s.read_ratio = 0.55;
+        s.p_seq = 0.08;
+        s.seq_len_mean = 16;
+        s.p_log = 0.18;
+        s.zipf_theta = 0.90;
+        s.req_pages_mean = 1;
+    } else if (name == "TPCC") {
+        // TPC-C: new-order insert streams + skewed stock updates.
+        s.read_ratio = 0.65;
+        s.p_seq = 0.15;
+        s.seq_len_mean = 24;
+        s.p_log = 0.20;
+        s.zipf_theta = 0.80;
+        s.req_pages_mean = 2;
+    } else if (name == "OLTP") {
+        // FileBench OLTP personality: database files + log files.
+        s.read_ratio = 0.50;
+        s.p_seq = 0.12;
+        s.seq_len_mean = 16;
+        s.p_log = 0.25;
+        s.zipf_theta = 0.75;
+        s.req_pages_mean = 2;
+    } else if (name == "CompF") {
+        // Computation flow: large sequential file reads/writes.
+        s.read_ratio = 0.60;
+        s.p_seq = 0.65;
+        s.seq_len_mean = 128;
+        s.p_log = 0.05;
+        s.zipf_theta = 0.5;
+        s.req_pages_mean = 4;
+    } else {
+        LEAFTL_FATAL("unknown application workload model: " + name);
+    }
+    return s;
+}
+
+std::unique_ptr<MixWorkload>
+makeAppWorkload(const std::string &name, uint64_t working_set_pages,
+                uint64_t num_requests)
+{
+    return std::make_unique<MixWorkload>(
+        appSpec(name, working_set_pages, num_requests));
+}
+
+} // namespace leaftl

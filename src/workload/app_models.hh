@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic models of the application workloads the paper runs on its
+ * real SSD prototype (Table 2): FileBench OLTP and CompFlow, and
+ * BenchBase TPCC, AuctionMark, and SEATS over MySQL.
+ *
+ * Databases touch flash as B-tree page updates (zipf-skewed random
+ * page writes/reads) plus a sequential redo-log stream; file-server
+ * style workloads mix whole-file sequential runs with metadata
+ * updates. Each model is a MixSpec tuned accordingly; see DESIGN.md
+ * for the substitution rationale.
+ */
+
+#ifndef LEAFTL_WORKLOAD_APP_MODELS_HH
+#define LEAFTL_WORKLOAD_APP_MODELS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace leaftl
+{
+
+/** Names of the five modeled applications (paper Fig. 17 order). */
+const std::vector<std::string> &appWorkloadNames();
+
+/** Spec for a named application model. */
+MixSpec appSpec(const std::string &name, uint64_t working_set_pages,
+                uint64_t num_requests);
+
+/** Convenience: construct the generator directly. */
+std::unique_ptr<MixWorkload>
+makeAppWorkload(const std::string &name, uint64_t working_set_pages,
+                uint64_t num_requests);
+
+} // namespace leaftl
+
+#endif // LEAFTL_WORKLOAD_APP_MODELS_HH

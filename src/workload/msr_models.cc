@@ -1,0 +1,103 @@
+#include "workload/msr_models.hh"
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+const std::vector<std::string> &
+msrWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "MSR-hm",  "MSR-src2", "MSR-prxy", "MSR-prn",
+        "MSR-usr", "FIU-home", "FIU-mail",
+    };
+    return names;
+}
+
+MixSpec
+msrSpec(const std::string &name, uint64_t working_set_pages,
+        uint64_t num_requests)
+{
+    MixSpec s;
+    s.name = name;
+    s.working_set_pages = working_set_pages;
+    s.num_requests = num_requests;
+    s.seed = 0xC0FFEE ^ std::hash<std::string>{}(name);
+
+    if (name == "MSR-hm") {
+        // Hardware-monitoring server: write-heavy with moderate
+        // sequential bursts and a skewed update set.
+        s.read_ratio = 0.35;
+        s.p_seq = 0.35;
+        s.seq_len_mean = 48;
+        s.p_stride = 0.10;
+        s.stride = 4;
+        s.zipf_theta = 0.7;
+        s.req_pages_mean = 2;
+    } else if (name == "MSR-src2") {
+        // Source-control: long sequential writes (checkouts/commits),
+        // compresses extremely well.
+        s.read_ratio = 0.25;
+        s.p_seq = 0.55;
+        s.seq_len_mean = 96;
+        s.p_log = 0.10;
+        s.zipf_theta = 0.55;
+        s.req_pages_mean = 4;
+    } else if (name == "MSR-prxy") {
+        // Web proxy: overwhelmingly writes; cached objects span a few
+        // pages, with a skewed hot set.
+        s.read_ratio = 0.05;
+        s.p_seq = 0.15;
+        s.seq_len_mean = 12;
+        s.zipf_theta = 0.85;
+        s.req_pages_mean = 3;
+    } else if (name == "MSR-prn") {
+        // Print server: mixed, medium sequential runs, wide set.
+        s.read_ratio = 0.25;
+        s.p_seq = 0.30;
+        s.seq_len_mean = 32;
+        s.p_stride = 0.15;
+        s.stride = 8;
+        s.zipf_theta = 0.6;
+        s.req_pages_mean = 2;
+    } else if (name == "MSR-usr") {
+        // User home directories: read-leaning, mixed patterns.
+        s.read_ratio = 0.60;
+        s.p_seq = 0.40;
+        s.seq_len_mean = 64;
+        s.p_stride = 0.05;
+        s.stride = 2;
+        s.zipf_theta = 0.6;
+        s.req_pages_mean = 2;
+    } else if (name == "FIU-home") {
+        // FIU home: write-heavy, moderately sequential, skewed.
+        s.read_ratio = 0.20;
+        s.p_seq = 0.25;
+        s.seq_len_mean = 24;
+        s.p_log = 0.15;
+        s.zipf_theta = 0.75;
+        s.req_pages_mean = 1;
+    } else if (name == "FIU-mail") {
+        // Mail server: small random mailbox updates dominate (worst
+        // case for locality-based compression), with short appends.
+        s.read_ratio = 0.10;
+        s.p_seq = 0.12;
+        s.seq_len_mean = 8;
+        s.zipf_theta = 0.88;
+        s.req_pages_mean = 3;
+    } else {
+        LEAFTL_FATAL("unknown MSR/FIU workload model: " + name);
+    }
+    return s;
+}
+
+std::unique_ptr<MixWorkload>
+makeMsrWorkload(const std::string &name, uint64_t working_set_pages,
+                uint64_t num_requests)
+{
+    return std::make_unique<MixWorkload>(
+        msrSpec(name, working_set_pages, num_requests));
+}
+
+} // namespace leaftl

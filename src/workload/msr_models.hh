@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthetic models of the MSR-Cambridge [45] and FIU [16] block
+ * traces used in the paper's simulator evaluation (§4.1).
+ *
+ * The original traces are not redistributable and are unavailable in
+ * this offline environment, so each is replaced by a MixSpec whose
+ * read ratio, sequentiality, stride content, skew, and working-set
+ * size reproduce the qualitative behavior the paper reports for it
+ * (e.g. MSR-src2 compresses extremely well, MSR-prxy and FIU-mail are
+ * random-write-heavy and compress worst; see Figs. 5/10/15). Real
+ * traces in MSR CSV format can be replayed instead via
+ * workload/trace.hh.
+ */
+
+#ifndef LEAFTL_WORKLOAD_MSR_MODELS_HH
+#define LEAFTL_WORKLOAD_MSR_MODELS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace leaftl
+{
+
+/** Names of the seven modeled traces, in the paper's figure order. */
+const std::vector<std::string> &msrWorkloadNames();
+
+/**
+ * Spec for a named trace model.
+ *
+ * @param name One of msrWorkloadNames().
+ * @param working_set_pages Scale of the LPA footprint.
+ * @param num_requests Trace length to generate.
+ */
+MixSpec msrSpec(const std::string &name, uint64_t working_set_pages,
+                uint64_t num_requests);
+
+/** Convenience: construct the generator directly. */
+std::unique_ptr<MixWorkload>
+makeMsrWorkload(const std::string &name, uint64_t working_set_pages,
+                uint64_t num_requests);
+
+} // namespace leaftl
+
+#endif // LEAFTL_WORKLOAD_MSR_MODELS_HH

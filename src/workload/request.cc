@@ -1,0 +1,7 @@
+#include "workload/request.hh"
+
+// Anchor for the WorkloadSource vtable.
+
+namespace leaftl
+{
+} // namespace leaftl

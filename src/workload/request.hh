@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Host I/O request type and the pull-based workload source interface
+ * every generator and trace parser implements.
+ */
+
+#ifndef LEAFTL_WORKLOAD_REQUEST_HH
+#define LEAFTL_WORKLOAD_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** Request direction. */
+enum class Op : uint8_t
+{
+    Read,
+    Write,
+};
+
+/** One host request (page granular, possibly multi-page). */
+struct IoRequest
+{
+    Op op = Op::Read;
+    Lpa lpa = 0;
+    uint32_t npages = 1;
+    Tick arrival = 0;
+};
+
+/** Pull-based request source. */
+class WorkloadSource
+{
+  public:
+    virtual ~WorkloadSource() = default;
+
+    /** Produce the next request; false = exhausted. */
+    virtual bool next(IoRequest &req) = 0;
+
+    /** Restart from the beginning (same sequence). */
+    virtual void reset() = 0;
+
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_WORKLOAD_REQUEST_HH

@@ -1,0 +1,127 @@
+#include "workload/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leaftl
+{
+
+MixWorkload::MixWorkload(const MixSpec &spec) : spec_(spec), rng_(spec.seed)
+{
+    LEAFTL_ASSERT(spec_.working_set_pages > 0, "empty working set");
+    LEAFTL_ASSERT(spec_.p_seq + spec_.p_stride + spec_.p_log <= 1.0 + 1e-9,
+                  "component probabilities exceed 1");
+    if (spec_.zipf_theta > 0.0) {
+        zipf_ = std::make_unique<ZipfGenerator>(spec_.working_set_pages,
+                                                spec_.zipf_theta);
+    }
+    reset();
+}
+
+void
+MixWorkload::reset()
+{
+    rng_ = Rng(spec_.seed);
+    issued_ = 0;
+    clock_ = 0;
+    seq_left_ = 0;
+    stride_left_ = 0;
+    log_head_ = 0;
+}
+
+uint32_t
+MixWorkload::geometric(uint32_t mean)
+{
+    if (mean <= 1)
+        return 1;
+    // Geometric with mean `mean`: p = 1/mean.
+    const double p = 1.0 / mean;
+    const double u = rng_.nextDouble();
+    const double v = std::log(1.0 - u) / std::log(1.0 - p);
+    const uint32_t len = static_cast<uint32_t>(v) + 1;
+    return std::max(1u, len);
+}
+
+Lpa
+MixWorkload::randomLpa()
+{
+    if (zipf_)
+        return static_cast<Lpa>(zipf_->next(rng_));
+    return static_cast<Lpa>(rng_.nextBounded(spec_.working_set_pages));
+}
+
+bool
+MixWorkload::next(IoRequest &req)
+{
+    if (issued_ >= spec_.num_requests)
+        return false;
+    issued_++;
+
+    clock_ += 1 + rng_.nextBounded(std::max<Tick>(1, 2 * spec_.interarrival));
+    req.arrival = clock_;
+    req.npages = std::min<uint32_t>(geometric(spec_.req_pages_mean), 64);
+
+    const uint64_t ws = spec_.working_set_pages;
+
+    // Continue an in-flight sequential run first: real traces issue
+    // them back-to-back.
+    if (seq_left_ > 0) {
+        seq_left_--;
+        req.op = seq_is_read_ ? Op::Read : Op::Write;
+        req.lpa = seq_pos_;
+        seq_pos_ = static_cast<Lpa>((seq_pos_ + req.npages) % ws);
+        return true;
+    }
+    if (stride_left_ > 0) {
+        stride_left_--;
+        req.op = stride_is_read_ ? Op::Read : Op::Write;
+        req.lpa = stride_pos_;
+        stride_pos_ = static_cast<Lpa>((stride_pos_ + spec_.stride) % ws);
+        req.npages = 1;
+        return true;
+    }
+
+    const double dice = rng_.nextDouble();
+    const bool is_read = rng_.nextBool(spec_.read_ratio);
+
+    if (dice < spec_.p_seq) {
+        // Start a sequential run at a random position.
+        seq_is_read_ = is_read;
+        seq_left_ = geometric(spec_.seq_len_mean);
+        seq_pos_ = static_cast<Lpa>(rng_.nextBounded(ws));
+        seq_left_--;
+        req.op = is_read ? Op::Read : Op::Write;
+        req.lpa = seq_pos_;
+        seq_pos_ = static_cast<Lpa>((seq_pos_ + req.npages) % ws);
+        return true;
+    }
+    if (dice < spec_.p_seq + spec_.p_stride) {
+        stride_is_read_ = is_read;
+        stride_left_ = geometric(spec_.stride_len_mean);
+        stride_pos_ = static_cast<Lpa>(rng_.nextBounded(ws));
+        stride_left_--;
+        req.op = is_read ? Op::Read : Op::Write;
+        req.lpa = stride_pos_;
+        stride_pos_ = static_cast<Lpa>((stride_pos_ + spec_.stride) % ws);
+        req.npages = 1;
+        return true;
+    }
+    if (dice < spec_.p_seq + spec_.p_stride + spec_.p_log) {
+        // Circular log append (always a write; log reads are rare and
+        // covered by the random component).
+        const uint64_t log_pages = std::max<uint64_t>(
+            1, static_cast<uint64_t>(ws * spec_.log_fraction));
+        req.op = Op::Write;
+        req.lpa = static_cast<Lpa>(ws - log_pages + (log_head_ % log_pages));
+        log_head_ = (log_head_ + req.npages) % log_pages;
+        return true;
+    }
+
+    // Random point access over the non-log region.
+    req.op = is_read ? Op::Read : Op::Write;
+    req.lpa = randomLpa();
+    req.npages = 1;
+    return true;
+}
+
+} // namespace leaftl

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator.
+ *
+ * Every workload in the repository (MSR/FIU trace models, FileBench
+ * and BenchBase application models) is an instance of MixSpec: a
+ * probabilistic mix of four access components, each exercising a
+ * distinct LPA-PPA pattern from Fig. 1 of the paper:
+ *
+ *   - sequential runs (index segment A: contiguous LPAs),
+ *   - strided runs (segment B: regular stride),
+ *   - a circular log-append region (databases / filesystem journals),
+ *   - zipf-skewed random point accesses (segment C / single points).
+ *
+ * The mix probabilities, skew, run lengths, read ratio, and working
+ * set size are what differentiate the named workloads; see
+ * msr_models.cc and app_models.cc.
+ */
+
+#ifndef LEAFTL_WORKLOAD_SYNTHETIC_HH
+#define LEAFTL_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.hh"
+#include "workload/request.hh"
+#include "workload/zipf.hh"
+
+namespace leaftl
+{
+
+/** Knobs of a synthetic workload. */
+struct MixSpec
+{
+    std::string name = "mix";
+    uint64_t working_set_pages = 1 << 20;
+    uint64_t num_requests = 1 << 20;
+    double read_ratio = 0.5;
+
+    /** P(request starts/continues a sequential run). */
+    double p_seq = 0.3;
+    /** Mean sequential run length in pages (geometric). */
+    uint32_t seq_len_mean = 64;
+
+    /** P(request belongs to a strided sweep). */
+    double p_stride = 0.0;
+    uint32_t stride = 4;
+    uint32_t stride_len_mean = 32;
+
+    /** P(request appends to the circular log region). */
+    double p_log = 0.0;
+    /** Log region size as a fraction of the working set. */
+    double log_fraction = 0.1;
+
+    /** Skew of the remaining random component (0 = uniform). */
+    double zipf_theta = 0.0;
+
+    /** Mean request size in pages (geometric, >= 1). */
+    uint32_t req_pages_mean = 1;
+
+    /** Mean inter-arrival gap. */
+    Tick interarrival = 20 * kMicrosecond;
+
+    uint64_t seed = 42;
+};
+
+/** The generator. */
+class MixWorkload : public WorkloadSource
+{
+  public:
+    explicit MixWorkload(const MixSpec &spec);
+
+    bool next(IoRequest &req) override;
+    void reset() override;
+    const std::string &name() const override { return spec_.name; }
+
+    const MixSpec &spec() const { return spec_; }
+
+  private:
+    uint32_t geometric(uint32_t mean);
+    Lpa randomLpa();
+
+    MixSpec spec_;
+    Rng rng_;
+    std::unique_ptr<ZipfGenerator> zipf_;
+
+    uint64_t issued_ = 0;
+    Tick clock_ = 0;
+
+    // Sequential-run state.
+    Lpa seq_pos_ = 0;
+    uint32_t seq_left_ = 0;
+    bool seq_is_read_ = false;
+
+    // Strided-sweep state.
+    Lpa stride_pos_ = 0;
+    uint32_t stride_left_ = 0;
+    bool stride_is_read_ = false;
+
+    // Circular log head.
+    Lpa log_head_ = 0;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_WORKLOAD_SYNTHETIC_HH

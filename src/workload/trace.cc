@@ -1,0 +1,116 @@
+#include "workload/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+std::vector<IoRequest>
+loadMsrTrace(const std::string &path, uint32_t page_size, uint64_t lpa_space)
+{
+    std::ifstream in(path);
+    if (!in)
+        LEAFTL_FATAL("cannot open trace file: " + path);
+
+    std::vector<IoRequest> reqs;
+    std::string line;
+    uint64_t first_ts = 0;
+    bool have_first = false;
+
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::stringstream ss(line);
+        std::string ts_s, host, disk, type, offset_s, size_s, resp;
+        if (!std::getline(ss, ts_s, ',') || !std::getline(ss, host, ',') ||
+            !std::getline(ss, disk, ',') || !std::getline(ss, type, ',') ||
+            !std::getline(ss, offset_s, ',') ||
+            !std::getline(ss, size_s, ',')) {
+            continue; // Malformed line: skip.
+        }
+        std::getline(ss, resp, ','); // Optional.
+
+        uint64_t ts = 0, offset = 0, size = 0;
+        try {
+            ts = std::stoull(ts_s);
+            offset = std::stoull(offset_s);
+            size = std::stoull(size_s);
+        } catch (...) {
+            continue; // Header or garbage line.
+        }
+        if (size == 0)
+            continue;
+
+        if (!have_first) {
+            first_ts = ts;
+            have_first = true;
+        }
+
+        IoRequest req;
+        const bool is_read =
+            type == "Read" || type == "read" || type == "R" || type == "r";
+        req.op = is_read ? Op::Read : Op::Write;
+        uint64_t lpa = offset / page_size;
+        if (lpa_space > 0)
+            lpa %= lpa_space;
+        req.lpa = static_cast<Lpa>(lpa);
+        req.npages = static_cast<uint32_t>(
+            ceilDiv(size + offset % page_size, page_size));
+        // Windows 100ns ticks -> nanoseconds.
+        req.arrival = (ts - first_ts) * 100;
+        reqs.push_back(req);
+    }
+    return reqs;
+}
+
+std::vector<IoRequest>
+loadFiuTrace(const std::string &path, uint32_t page_size,
+             uint64_t lpa_space)
+{
+    std::ifstream in(path);
+    if (!in)
+        LEAFTL_FATAL("cannot open trace file: " + path);
+
+    constexpr uint64_t kSector = 512;
+    std::vector<IoRequest> reqs;
+    std::string line;
+    double first_ts = 0.0;
+    bool have_first = false;
+
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::stringstream ss(line);
+        double ts;
+        uint64_t pid, lba, size_blocks;
+        std::string process, op;
+        if (!(ss >> ts >> pid >> process >> lba >> size_blocks >> op))
+            continue;
+        if (size_blocks == 0)
+            continue;
+        if (!have_first) {
+            first_ts = ts;
+            have_first = true;
+        }
+
+        IoRequest req;
+        const char c = op.empty() ? 'W' : op[0];
+        req.op = (c == 'R' || c == 'r') ? Op::Read : Op::Write;
+        const uint64_t byte_off = lba * kSector;
+        uint64_t lpa = byte_off / page_size;
+        if (lpa_space > 0)
+            lpa %= lpa_space;
+        req.lpa = static_cast<Lpa>(lpa);
+        req.npages = static_cast<uint32_t>(ceilDiv(
+            size_blocks * kSector + byte_off % page_size, page_size));
+        req.arrival =
+            static_cast<Tick>((ts - first_ts) * 1e9); // Seconds -> ns.
+        reqs.push_back(req);
+    }
+    return reqs;
+}
+
+} // namespace leaftl

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Block-trace parsing and replay.
+ *
+ * Supports the MSR-Cambridge CSV format used by the paper's simulator
+ * evaluation ("Timestamp,Hostname,DiskNumber,Type,Offset,Size,
+ * ResponseTime", offsets/sizes in bytes, timestamps in Windows 100 ns
+ * ticks), so genuine traces can replace the synthetic models when
+ * available. A TraceWorkload also replays any in-memory request
+ * vector, which the tests use for deterministic scenarios.
+ */
+
+#ifndef LEAFTL_WORKLOAD_TRACE_HH
+#define LEAFTL_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/request.hh"
+
+namespace leaftl
+{
+
+/**
+ * Parse an MSR-Cambridge CSV trace.
+ *
+ * @param path File path.
+ * @param page_size Flash page size for byte -> page conversion.
+ * @param lpa_space Requests are wrapped modulo this page count
+ *                  (0 = no wrapping).
+ * @return Parsed requests, in file order, arrival-normalized to start
+ *         at zero.
+ */
+std::vector<IoRequest> loadMsrTrace(const std::string &path,
+                                    uint32_t page_size,
+                                    uint64_t lpa_space = 0);
+
+/**
+ * Parse an FIU/SPC-style trace: whitespace-separated
+ * "timestamp pid process lba size_blocks op ..." lines, LBAs and
+ * sizes in 512-byte sectors, op is R/W (case-insensitive).
+ *
+ * @param path File path.
+ * @param page_size Flash page size for sector -> page conversion.
+ * @param lpa_space Requests are wrapped modulo this page count
+ *                  (0 = no wrapping).
+ */
+std::vector<IoRequest> loadFiuTrace(const std::string &path,
+                                    uint32_t page_size,
+                                    uint64_t lpa_space = 0);
+
+/** Replay a fixed request vector. */
+class TraceWorkload : public WorkloadSource
+{
+  public:
+    TraceWorkload(std::string name, std::vector<IoRequest> reqs)
+        : name_(std::move(name)), reqs_(std::move(reqs))
+    {}
+
+    bool
+    next(IoRequest &req) override
+    {
+        if (pos_ >= reqs_.size())
+            return false;
+        req = reqs_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+    const std::string &name() const override { return name_; }
+    size_t size() const { return reqs_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<IoRequest> reqs_;
+    size_t pos_ = 0;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_WORKLOAD_TRACE_HH

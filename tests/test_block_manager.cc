@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the block manager: allocation, BVC/PVT bookkeeping, GC
+ * victim selection, and wear-leveling candidates (§2 Fig. 3, §3.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_array.hh"
+#include "ssd/block_manager.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+Geometry
+smallGeom()
+{
+    Geometry g;
+    g.num_channels = 2;
+    g.blocks_per_channel = 4;
+    g.pages_per_block = 4;
+    return g;
+}
+
+struct Fixture
+{
+    Fixture() : flash(smallGeom()), bm(flash) {}
+
+    /** Program a whole block with LPAs starting at base. */
+    void
+    fillBlock(uint32_t block, Lpa base)
+    {
+        const Ppa first = flash.geometry().firstPpa(block);
+        for (uint32_t i = 0; i < flash.geometry().pages_per_block; i++) {
+            flash.programPage(first + i, base + i);
+            bm.markValid(first + i);
+        }
+    }
+
+    FlashArray flash;
+    BlockManager bm;
+};
+
+TEST(BlockManager, AllocationDrainsFreePool)
+{
+    Fixture f;
+    EXPECT_EQ(f.bm.freeBlocks(), 8u);
+    const uint32_t b = f.bm.allocateBlock();
+    EXPECT_EQ(f.bm.freeBlocks(), 7u);
+    EXPECT_LT(b, 8u);
+    EXPECT_DOUBLE_EQ(f.bm.freeFraction(), 7.0 / 8.0);
+}
+
+TEST(BlockManager, ValidityCounters)
+{
+    Fixture f;
+    const uint32_t b = f.bm.allocateBlock();
+    f.fillBlock(b, 100);
+    EXPECT_EQ(f.bm.validCount(b), 4u);
+    const Ppa first = f.flash.geometry().firstPpa(b);
+    EXPECT_TRUE(f.bm.isValid(first));
+    f.bm.invalidate(first);
+    EXPECT_FALSE(f.bm.isValid(first));
+    EXPECT_EQ(f.bm.validCount(b), 3u);
+}
+
+TEST(BlockManagerDeath, DoubleInvalidateAborts)
+{
+    Fixture f;
+    const uint32_t b = f.bm.allocateBlock();
+    f.fillBlock(b, 0);
+    const Ppa first = f.flash.geometry().firstPpa(b);
+    f.bm.invalidate(first);
+    EXPECT_DEATH(f.bm.invalidate(first), "non-valid");
+}
+
+TEST(BlockManager, GreedyVictimPicksFewestValid)
+{
+    Fixture f;
+    const uint32_t b0 = f.bm.allocateBlock();
+    const uint32_t b1 = f.bm.allocateBlock();
+    f.fillBlock(b0, 0);
+    f.fillBlock(b1, 100);
+    // Invalidate 3 of 4 pages in b1, 1 of 4 in b0.
+    const Ppa f1 = f.flash.geometry().firstPpa(b1);
+    f.bm.invalidate(f1);
+    f.bm.invalidate(f1 + 1);
+    f.bm.invalidate(f1 + 2);
+    f.bm.invalidate(f.flash.geometry().firstPpa(b0));
+
+    auto victim = f.bm.pickGcVictim();
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(*victim, b1);
+}
+
+TEST(BlockManager, NoVictimOnPristineDevice)
+{
+    Fixture f;
+    EXPECT_FALSE(f.bm.pickGcVictim().has_value());
+    const uint32_t b = f.bm.allocateBlock();
+    const Ppa first = f.flash.geometry().firstPpa(b);
+    f.flash.programPage(first, 0);
+    f.bm.markValid(first);
+    // Open (partially programmed) blocks are valid GC candidates:
+    // wear-leveling destinations would otherwise leak space forever.
+    auto victim = f.bm.pickGcVictim();
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(*victim, b);
+    // Exclusion list suppresses them.
+    EXPECT_FALSE(f.bm.pickGcVictim({b}).has_value());
+}
+
+TEST(BlockManager, ValidPagesListsSurvivors)
+{
+    Fixture f;
+    const uint32_t b = f.bm.allocateBlock();
+    f.fillBlock(b, 200);
+    const Ppa first = f.flash.geometry().firstPpa(b);
+    f.bm.invalidate(first + 1);
+    const auto pages = f.bm.validPages(b);
+    ASSERT_EQ(pages.size(), 3u);
+    EXPECT_EQ(pages[0].first, 200u);
+    EXPECT_EQ(pages[0].second, first);
+    EXPECT_EQ(pages[1].first, 202u);
+    EXPECT_EQ(pages[2].first, 203u);
+}
+
+TEST(BlockManager, ReleaseRequiresEmptyAndErased)
+{
+    Fixture f;
+    const uint32_t b = f.bm.allocateBlock();
+    f.fillBlock(b, 0);
+    const Ppa first = f.flash.geometry().firstPpa(b);
+    for (uint32_t i = 0; i < 4; i++)
+        f.bm.invalidate(first + i);
+    f.flash.eraseBlock(b);
+    f.bm.releaseBlock(b);
+    EXPECT_EQ(f.bm.freeBlocks(), 8u);
+}
+
+TEST(BlockManagerDeath, ReleaseWithValidPagesAborts)
+{
+    Fixture f;
+    const uint32_t b = f.bm.allocateBlock();
+    f.fillBlock(b, 0);
+    EXPECT_DEATH(f.bm.releaseBlock(b), "valid pages");
+}
+
+TEST(BlockManager, WearVictimRespectsThreshold)
+{
+    Fixture f;
+    // No spread yet: no victim.
+    EXPECT_FALSE(f.bm.pickWearVictim(2).has_value());
+
+    // Age block 0 by erasing it several times, then fill block 1
+    // (cold, never erased).
+    const uint32_t hot = f.bm.allocateBlock();
+    for (int i = 0; i < 5; i++)
+        f.flash.eraseBlock(hot);
+    const uint32_t cold = f.bm.allocateBlock();
+    f.fillBlock(cold, 0);
+
+    EXPECT_EQ(f.bm.eraseSpread(), 5u);
+    auto victim = f.bm.pickWearVictim(2);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(*victim, cold);
+    EXPECT_FALSE(f.bm.pickWearVictim(10).has_value());
+}
+
+} // namespace
+} // namespace leaftl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the Conflict Resolution Buffer (§3.4, Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "learned/crb.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+TEST(Crb, InsertAndLookup)
+{
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {100, 101, 103, 104, 106}, emptied);
+    EXPECT_TRUE(emptied.empty());
+    EXPECT_TRUE(crb.contains(1, 103));
+    EXPECT_FALSE(crb.contains(1, 102));
+    EXPECT_EQ(crb.owner(104), 1u);
+    EXPECT_EQ(crb.owner(99), Crb::kNoSeg);
+    EXPECT_EQ(crb.head(1), 100u);
+    EXPECT_EQ(crb.numRuns(), 1u);
+}
+
+TEST(Crb, PaperFigure9Layout)
+{
+    // Fig. 9: two approximate segments with interleaved LPAs.
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {100, 101, 103, 104, 106}, emptied);
+    crb.insertRun(2, {102, 105, 107, 108}, emptied);
+    EXPECT_TRUE(emptied.empty());
+
+    // Lookup LPA 105 resolves to segment 2, not segment 1, even
+    // though 105 is inside segment 1's [100, 106] range.
+    EXPECT_EQ(crb.owner(105), 2u);
+    EXPECT_EQ(crb.owner(104), 1u);
+    // Memory: one byte per LPA plus one separator per run.
+    EXPECT_EQ(crb.sizeBytes(), 5u + 1 + 4 + 1);
+}
+
+TEST(Crb, DeduplicationStealsOwnership)
+{
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {10, 20, 30}, emptied);
+    crb.insertRun(2, {20, 40}, emptied);
+    EXPECT_TRUE(emptied.empty());
+    EXPECT_EQ(crb.owner(20), 2u);
+    EXPECT_FALSE(crb.contains(1, 20));
+    EXPECT_EQ(crb.run(1).size(), 2u);
+    EXPECT_EQ(crb.head(1), 10u);
+}
+
+TEST(Crb, HeadCollisionRebasesOldRun)
+{
+    // Paper: a new segment starting at an existing run's SLPA bumps
+    // the old run to its adjacent LPA.
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {100, 101, 103}, emptied);
+    crb.insertRun(2, {100, 102}, emptied);
+    EXPECT_EQ(crb.owner(100), 2u);
+    EXPECT_EQ(crb.head(1), 101u);
+}
+
+TEST(Crb, FullOverlapEmptiesOldRun)
+{
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {5, 6}, emptied);
+    crb.insertRun(2, {5, 6, 7}, emptied);
+    ASSERT_EQ(emptied.size(), 1u);
+    EXPECT_EQ(emptied[0], 1u);
+    EXPECT_EQ(crb.numRuns(), 1u);
+    EXPECT_TRUE(crb.run(1).empty());
+}
+
+TEST(Crb, RemoveOffsetsTrimsAndReportsEmpty)
+{
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {1, 2, 3}, emptied);
+    EXPECT_FALSE(crb.removeOffsets(1, {2}));
+    EXPECT_FALSE(crb.contains(1, 2));
+    EXPECT_EQ(crb.owner(2), Crb::kNoSeg);
+    EXPECT_TRUE(crb.removeOffsets(1, {1, 3}));
+    EXPECT_EQ(crb.numRuns(), 0u);
+}
+
+TEST(Crb, RemoveOffsetsSkipsForeignOwners)
+{
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {1, 2}, emptied);
+    crb.insertRun(2, {2, 3}, emptied); // Steals 2.
+    EXPECT_FALSE(crb.removeOffsets(1, {2})); // 2 belongs to run 2 now.
+    EXPECT_TRUE(crb.contains(2, 2));
+    EXPECT_TRUE(crb.contains(1, 1));
+}
+
+TEST(Crb, RemoveRunReleasesOwnership)
+{
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {9, 10}, emptied);
+    crb.removeRun(1);
+    EXPECT_EQ(crb.owner(9), Crb::kNoSeg);
+    EXPECT_EQ(crb.numRuns(), 0u);
+    EXPECT_EQ(crb.sizeBytes(), 0u);
+    // Removing a missing run is a no-op.
+    crb.removeRun(1);
+}
+
+TEST(Crb, RestoreRunSkipsDedup)
+{
+    Crb crb;
+    crb.restoreRun(7, {50, 60});
+    EXPECT_TRUE(crb.contains(7, 50));
+    EXPECT_EQ(crb.numRuns(), 1u);
+}
+
+TEST(Crb, AverageSizeMatchesPaperScale)
+{
+    // Paper Fig. 10: CRBs average ~13.9 bytes. Sanity: small run
+    // loads stay tens of bytes, far below the 256-byte worst case.
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {0, 3, 7}, emptied);
+    crb.insertRun(2, {10, 11, 14, 18}, emptied);
+    crb.insertRun(3, {40, 44}, emptied);
+    EXPECT_LE(crb.sizeBytes(), 64u);
+    EXPECT_EQ(crb.sizeBytes(), (3u + 1) + (4u + 1) + (2u + 1));
+}
+
+TEST(CrbDeath, ReusedIdAborts)
+{
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    crb.insertRun(1, {1}, emptied);
+    EXPECT_DEATH(crb.insertRun(1, {2}, emptied), "id reused");
+}
+
+TEST(CrbDeath, UnsortedRunAborts)
+{
+    Crb crb;
+    std::vector<Crb::SegId> emptied;
+    EXPECT_DEATH(crb.insertRun(1, {5, 3}, emptied), "sorted");
+}
+
+} // namespace
+} // namespace leaftl

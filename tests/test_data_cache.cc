@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the LRU data cache with dynamic capacity (§3.9, §4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/data_cache.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+TEST(DataCache, HitAfterInsert)
+{
+    DataCache c(4);
+    EXPECT_FALSE(c.lookup(1));
+    c.insert(1);
+    EXPECT_TRUE(c.lookup(1));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(DataCache, LruEviction)
+{
+    DataCache c(2);
+    c.insert(1);
+    c.insert(2);
+    c.insert(3); // Evicts 1.
+    EXPECT_FALSE(c.lookup(1));
+    EXPECT_TRUE(c.lookup(2));
+    EXPECT_TRUE(c.lookup(3));
+}
+
+TEST(DataCache, LookupPromotes)
+{
+    DataCache c(2);
+    c.insert(1);
+    c.insert(2);
+    EXPECT_TRUE(c.lookup(1)); // 1 becomes MRU.
+    c.insert(3);              // Evicts 2.
+    EXPECT_TRUE(c.lookup(1));
+    EXPECT_FALSE(c.lookup(2));
+}
+
+TEST(DataCache, InvalidateDropsEntry)
+{
+    DataCache c(4);
+    c.insert(7);
+    c.invalidate(7);
+    EXPECT_FALSE(c.lookup(7));
+    c.invalidate(100); // No-op on absent keys.
+}
+
+TEST(DataCache, ShrinkEvictsImmediately)
+{
+    DataCache c(4);
+    for (Lpa l = 0; l < 4; l++)
+        c.insert(l);
+    c.setCapacity(1);
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_TRUE(c.lookup(3)); // MRU survives.
+}
+
+TEST(DataCache, ZeroCapacityNeverStores)
+{
+    DataCache c(0);
+    c.insert(1);
+    EXPECT_FALSE(c.lookup(1));
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(DataCache, ReinsertRefreshes)
+{
+    DataCache c(2);
+    c.insert(1);
+    c.insert(2);
+    c.insert(1); // Refresh, no duplicate.
+    EXPECT_EQ(c.size(), 2u);
+    c.insert(3); // Evicts 2 (LRU), not 1.
+    EXPECT_TRUE(c.lookup(1));
+    EXPECT_FALSE(c.lookup(2));
+}
+
+} // namespace
+} // namespace leaftl

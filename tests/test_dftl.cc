@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the DFTL baseline: demand caching, translation-page
+ * charging, dirty write-back batching, and GC update paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ftl/dftl.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+/** Counts translation charges. */
+class MockOps : public FtlOps
+{
+  public:
+    void chargeTransRead() override { reads++; }
+    void chargeTransWrite() override { writes++; }
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+constexpr uint32_t kPageSize = 4096; // 512 entries per t-page.
+
+TEST(Dftl, UnmappedLookupCostsNothing)
+{
+    MockOps ops;
+    Dftl ftl(ops, kPageSize, 1 << 20);
+    const auto r = ftl.translate(1234);
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(ops.reads, 0u);
+    EXPECT_EQ(ops.writes, 0u);
+}
+
+TEST(Dftl, FreshMappingHitsCmt)
+{
+    MockOps ops;
+    Dftl ftl(ops, kPageSize, 1 << 20);
+    ftl.recordMappings({{10, 100}, {11, 101}});
+    const auto r = ftl.translate(10);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.ppa, 100u);
+    EXPECT_FALSE(r.approximate);
+    EXPECT_EQ(ops.reads, 0u); // Still cached, no flash involved.
+    EXPECT_EQ(ftl.cmtHits(), 1u);
+}
+
+TEST(Dftl, EvictionWritesBackDirtyAndMissReloads)
+{
+    MockOps ops;
+    // Budget of exactly 2 entries.
+    Dftl ftl(ops, kPageSize, 2 * kMapEntryBytes);
+    ftl.recordMappings({{1, 100}});
+    ftl.recordMappings({{2, 200}});
+    EXPECT_EQ(ops.writes, 0u);
+    // Third insert evicts LRU (lpa 1, dirty): one t-page write. No
+    // read: the page did not exist yet.
+    ftl.recordMappings({{3, 300}});
+    EXPECT_EQ(ops.writes, 1u);
+
+    // Re-reading lpa 1 misses the CMT: one t-page read.
+    const uint64_t reads_before = ops.reads;
+    const auto r = ftl.translate(1);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.ppa, 100u);
+    EXPECT_EQ(ops.reads, reads_before + 1);
+}
+
+TEST(Dftl, WritebackBatchesDirtyEntriesOfSamePage)
+{
+    MockOps ops;
+    Dftl ftl(ops, kPageSize, 3 * kMapEntryBytes);
+    // Three dirty entries in the same translation page (lpa < 512).
+    ftl.recordMappings({{1, 100}, {2, 200}, {3, 300}});
+    // Insert a fourth: evicts lpa 1 and flushes ALL dirty entries of
+    // t-page 0 in one write.
+    ftl.recordMappings({{4, 400}});
+    EXPECT_EQ(ops.writes, 1u);
+    // Evicting lpa 2 and 3 later: clean now, no further writes.
+    ftl.recordMappings({{5, 500}});
+    ftl.recordMappings({{6, 600}});
+    EXPECT_EQ(ops.writes, 1u);
+}
+
+TEST(Dftl, RmwChargesReadOnExistingPage)
+{
+    MockOps ops;
+    Dftl ftl(ops, kPageSize, 1 * kMapEntryBytes);
+    ftl.recordMappings({{1, 100}});
+    // Evicting lpa 1 (dirty) writes t-page 0 for the first time; the
+    // batched write-back also cleans the just-inserted lpa 2.
+    ftl.recordMappings({{2, 200}});
+    EXPECT_EQ(ops.reads, 0u);
+    EXPECT_EQ(ops.writes, 1u);
+    // Evicting the now-clean lpa 2 costs nothing.
+    ftl.recordMappings({{3, 300}});
+    EXPECT_EQ(ops.reads, 0u);
+    EXPECT_EQ(ops.writes, 1u);
+    // Evicting dirty lpa 3 with t-page 0 already materialized is a
+    // read-modify-write: one read plus one write.
+    ftl.recordMappings({{4, 400}});
+    EXPECT_EQ(ops.reads, 1u);
+    EXPECT_EQ(ops.writes, 2u);
+}
+
+TEST(Dftl, GcUpdatesChargePerTranslationPage)
+{
+    MockOps ops;
+    Dftl ftl(ops, kPageSize, 1 << 20);
+    // Mappings across two translation pages (entry 512 boundary).
+    ftl.recordMappingsGc({{1, 10}, {2, 11}, {600, 12}});
+    // Two t-pages touched, both new: 2 writes, 0 reads.
+    EXPECT_EQ(ops.writes, 2u);
+    EXPECT_EQ(ops.reads, 0u);
+    const auto r = ftl.translate(600);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.ppa, 12u);
+}
+
+TEST(Dftl, GcRefreshesCachedCopies)
+{
+    MockOps ops;
+    Dftl ftl(ops, kPageSize, 1 << 20);
+    ftl.recordMappings({{7, 70}});
+    ftl.recordMappingsGc({{7, 700}});
+    const auto r = ftl.translate(7);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.ppa, 700u);
+}
+
+TEST(Dftl, MemoryAccounting)
+{
+    MockOps ops;
+    Dftl ftl(ops, kPageSize, 1 << 20);
+    ftl.recordMappings({{1, 10}, {2, 20}, {3, 30}});
+    EXPECT_EQ(ftl.residentMappingBytes(), 3 * kMapEntryBytes);
+    EXPECT_EQ(ftl.fullMappingBytes(), 3 * kMapEntryBytes);
+    // Shrinking the budget evicts but the full size is unchanged.
+    ftl.setMappingBudget(1 * kMapEntryBytes);
+    EXPECT_EQ(ftl.residentMappingBytes(), 1 * kMapEntryBytes);
+    EXPECT_EQ(ftl.fullMappingBytes(), 3 * kMapEntryBytes);
+}
+
+TEST(Dftl, OverwriteKeepsSingleEntry)
+{
+    MockOps ops;
+    Dftl ftl(ops, kPageSize, 1 << 20);
+    ftl.recordMappings({{5, 50}});
+    ftl.recordMappings({{5, 51}});
+    EXPECT_EQ(ftl.fullMappingBytes(), 1 * kMapEntryBytes);
+    EXPECT_EQ(ftl.translate(5).ppa, 51u);
+}
+
+} // namespace
+} // namespace leaftl

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the NAND flash array model: program/read/erase semantics,
+ * NAND ordering rules, and the OOB reverse-mapping window (§3.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_array.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+Geometry
+smallGeom()
+{
+    Geometry g;
+    g.num_channels = 2;
+    g.blocks_per_channel = 4;
+    g.pages_per_block = 8;
+    g.page_size = 4096;
+    g.oob_size = 128;
+    return g;
+}
+
+TEST(Geometry, DerivedQuantities)
+{
+    const Geometry g = smallGeom();
+    EXPECT_EQ(g.totalBlocks(), 8u);
+    EXPECT_EQ(g.totalPages(), 64u);
+    EXPECT_EQ(g.capacityBytes(), 64u * 4096);
+    EXPECT_EQ(g.blockOf(17), 2u);
+    EXPECT_EQ(g.pageInBlock(17), 1u);
+    EXPECT_EQ(g.channelOfBlock(3), 1u);
+    EXPECT_EQ(g.firstPpa(2), 16u);
+    EXPECT_EQ(g.oobEntries(), 32u);
+}
+
+TEST(FlashArray, ProgramAndReadBack)
+{
+    FlashArray flash(smallGeom());
+    flash.programPage(0, 111);
+    flash.programPage(1, 222);
+    EXPECT_EQ(flash.readPage(0), 111u);
+    EXPECT_EQ(flash.readPage(1), 222u);
+    EXPECT_EQ(flash.readPage(2), kInvalidLpa);
+    EXPECT_EQ(flash.counters().page_writes, 2u);
+    EXPECT_EQ(flash.counters().page_reads, 3u);
+}
+
+TEST(FlashArray, PeekDoesNotCount)
+{
+    FlashArray flash(smallGeom());
+    flash.programPage(0, 5);
+    EXPECT_EQ(flash.peekLpa(0), 5u);
+    EXPECT_EQ(flash.counters().page_reads, 0u);
+}
+
+TEST(FlashArray, BlockLifecycle)
+{
+    FlashArray flash(smallGeom());
+    EXPECT_EQ(flash.blockState(0), BlockState::Free);
+    flash.programPage(0, 1);
+    EXPECT_EQ(flash.blockState(0), BlockState::Open);
+    for (Ppa p = 1; p < 8; p++)
+        flash.programPage(p, p);
+    EXPECT_EQ(flash.blockState(0), BlockState::Full);
+    flash.eraseBlock(0);
+    EXPECT_EQ(flash.blockState(0), BlockState::Free);
+    EXPECT_EQ(flash.eraseCount(0), 1u);
+    EXPECT_EQ(flash.peekLpa(0), kInvalidLpa);
+    // Erased block can be programmed again from page 0.
+    flash.programPage(0, 99);
+    EXPECT_EQ(flash.peekLpa(0), 99u);
+}
+
+TEST(FlashArrayDeath, OutOfOrderProgramAborts)
+{
+    FlashArray flash(smallGeom());
+    EXPECT_DEATH(flash.programPage(3, 1), "out-of-order");
+    flash.programPage(0, 1);
+    EXPECT_DEATH(flash.programPage(0, 2), "out-of-order");
+}
+
+TEST(FlashArray, OobWindowCoversNeighbors)
+{
+    FlashArray flash(smallGeom());
+    for (Ppa p = 0; p < 8; p++)
+        flash.programPage(p, 100 + p);
+    // Window of gamma=2 around page 4: LPAs of pages 2..6.
+    const auto w = flash.oobWindow(4, 2);
+    ASSERT_EQ(w.size(), 5u);
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(w[i], 102u + i);
+}
+
+TEST(FlashArray, OobWindowClipsAtBlockBoundary)
+{
+    FlashArray flash(smallGeom());
+    for (Ppa p = 0; p < 8; p++)
+        flash.programPage(p, 50 + p);
+    for (Ppa p = 8; p < 10; p++)
+        flash.programPage(p, 90 + p);
+
+    // Page 1's window of gamma=3 reaches below page 0: nulls there.
+    auto w = flash.oobWindow(1, 3);
+    ASSERT_EQ(w.size(), 7u);
+    EXPECT_EQ(w[0], kInvalidLpa);
+    EXPECT_EQ(w[1], kInvalidLpa);
+    EXPECT_EQ(w[2], 50u);
+
+    // Page 7's window must not leak into block 1 (pages 8+).
+    w = flash.oobWindow(7, 2);
+    ASSERT_EQ(w.size(), 5u);
+    EXPECT_EQ(w[2], 57u);
+    EXPECT_EQ(w[3], kInvalidLpa);
+    EXPECT_EQ(w[4], kInvalidLpa);
+}
+
+TEST(FlashArray, OobWindowClampsToPhysicalEntries)
+{
+    Geometry g = smallGeom();
+    g.oob_size = 20; // Only 5 entries -> max gamma 2.
+    FlashArray flash(g);
+    for (Ppa p = 0; p < 8; p++)
+        flash.programPage(p, p);
+    const auto w = flash.oobWindow(4, 10);
+    EXPECT_EQ(w.size(), 5u);
+}
+
+TEST(ChannelGeometry, RoundRobinStriping)
+{
+    Geometry g = smallGeom();
+    EXPECT_EQ(g.channelOfBlock(0), 0u);
+    EXPECT_EQ(g.channelOfBlock(1), 1u);
+    EXPECT_EQ(g.channelOfBlock(2), 0u);
+    EXPECT_EQ(g.channelOf(g.firstPpa(3)), 1u);
+}
+
+} // namespace
+} // namespace leaftl

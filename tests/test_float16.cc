@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the binary16 helpers that encode segment slopes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/float16.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+TEST(Float16, ZeroRoundTrips)
+{
+    EXPECT_EQ(float16Encode(0.0f), 0u);
+    EXPECT_EQ(float16Decode(0), 0.0f);
+}
+
+TEST(Float16, OneRoundTripsExactly)
+{
+    const uint16_t bits = float16Encode(1.0f);
+    EXPECT_EQ(bits, 0x3C00u);
+    EXPECT_EQ(float16Decode(bits), 1.0f);
+}
+
+TEST(Float16, PowerOfTwoReciprocalsAreExact)
+{
+    // Slopes 1/2, 1/4, ... 1/256 are exactly representable.
+    for (int d = 1; d <= 256; d <<= 1) {
+        const float k = 1.0f / d;
+        EXPECT_EQ(float16Decode(float16Encode(k)), k) << "1/" << d;
+    }
+}
+
+TEST(Float16, SlopeRelativeErrorBounded)
+{
+    // All stride reciprocals used by accurate segments must decode
+    // within 2^-11 relative error so round(1/K) recovers the stride.
+    for (int d = 1; d <= 256; d++) {
+        const float k = 1.0f / d;
+        const float back = float16Decode(float16Encode(k));
+        EXPECT_NEAR(back, k, k * 4.9e-4) << "stride " << d;
+        EXPECT_EQ(std::lround(1.0 / back), d) << "stride " << d;
+    }
+}
+
+TEST(Float16, TagSetAndClear)
+{
+    const uint16_t bits = float16Encode(0.5f);
+    EXPECT_FALSE(float16Tag(float16SetTag(bits, false)));
+    EXPECT_TRUE(float16Tag(float16SetTag(bits, true)));
+    // Clearing the tag of an already-clear value is a no-op.
+    EXPECT_EQ(float16SetTag(float16SetTag(bits, false), false),
+              float16SetTag(bits, false));
+}
+
+TEST(Float16, TagPerturbationWithinOneUlp)
+{
+    for (int d = 1; d <= 256; d++) {
+        const float k = 1.0f / d;
+        const uint16_t bits = float16Encode(k);
+        const float tagged = float16Decode(float16SetTag(bits, true));
+        const float clear = float16Decode(float16SetTag(bits, false));
+        EXPECT_NEAR(tagged, clear, k * 1e-3) << "stride " << d;
+    }
+}
+
+TEST(Float16, SubnormalsRoundTrip)
+{
+    const float tiny = 5.96046e-8f; // Smallest positive subnormal half.
+    const uint16_t bits = float16Encode(tiny);
+    EXPECT_GT(bits, 0u);
+    EXPECT_NEAR(float16Decode(bits), tiny, tiny);
+}
+
+TEST(Float16, LargeValuesSaturateToInfinity)
+{
+    const uint16_t bits = float16Encode(1e6f);
+    EXPECT_EQ(bits, 0x7C00u);
+    EXPECT_TRUE(std::isinf(float16Decode(bits)));
+}
+
+TEST(Float16, NegativeValuesKeepSign)
+{
+    const uint16_t bits = float16Encode(-0.25f);
+    EXPECT_EQ(float16Decode(bits), -0.25f);
+}
+
+class Float16Sweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Float16Sweep, RoundTripErrorWithinHalfUlp)
+{
+    // Slopes are always in [0, 1]; check the relative round-trip
+    // error across a dense sweep of that range.
+    const int i = GetParam();
+    const float v = static_cast<float>(i) / 4096.0f;
+    const float back = float16Decode(float16Encode(v));
+    if (v == 0.0f) {
+        EXPECT_EQ(back, 0.0f);
+    } else {
+        EXPECT_NEAR(back, v, std::max(v * 4.9e-4f, 6.0e-8f));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseSlopes, Float16Sweep,
+                         ::testing::Range(0, 4097, 37));
+
+TEST(Float16, ExhaustiveDecodeEncodeIdentity)
+{
+    // Property: every finite half value decodes to a float that
+    // encodes back to the same bits (decode/encode are inverses on
+    // representable values).
+    for (uint32_t bits = 0; bits < 0x10000u; bits++) {
+        const uint16_t h = static_cast<uint16_t>(bits);
+        const uint32_t exp = (h >> 10) & 0x1F;
+        if (exp == 31)
+            continue; // inf/nan: identity not required.
+        const float f = float16Decode(h);
+        const uint16_t back = float16Encode(f);
+        if (h == 0x8000u) {
+            // -0 may normalize to +0; accept either encoding.
+            EXPECT_TRUE(back == 0x8000u || back == 0u);
+            continue;
+        }
+        ASSERT_EQ(back, h) << "bits=" << bits;
+    }
+}
+
+} // namespace
+} // namespace leaftl

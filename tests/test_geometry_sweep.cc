@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cross-geometry correctness sweep: every FTL must survive
+ * write/overwrite/read cycles with GC across flash page sizes
+ * (translation-page fan-out changes with page size) and channel
+ * counts. Complements the LeaFTL-focused fuzz in test_fuzz_device.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssd/ssd.hh"
+#include "util/rng.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+struct SweepParams
+{
+    FtlKind ftl;
+    uint32_t page_size;
+    uint32_t channels;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<SweepParams>
+{
+};
+
+TEST_P(GeometrySweep, OverwriteChurnWithGc)
+{
+    const SweepParams p = GetParam();
+    SsdConfig cfg;
+    cfg.geometry.num_channels = p.channels;
+    cfg.geometry.blocks_per_channel = 128 / p.channels;
+    cfg.geometry.pages_per_block = 32;
+    cfg.geometry.page_size = p.page_size;
+    cfg.ftl = p.ftl;
+    cfg.gamma = p.ftl == FtlKind::LeaFTL ? 4 : 0;
+    cfg.dram_bytes = 256ull << 10;
+    cfg.write_buffer_bytes = 32ull * p.page_size;
+    cfg.compaction_interval = 600;
+    Ssd ssd(cfg);
+
+    const uint64_t ws = ssd.config().hostPages() / 2;
+    Rng rng(p.page_size + p.channels);
+    std::set<Lpa> written;
+    Tick now = 0;
+    for (uint64_t i = 0; i < ws * 4; i++) {
+        const Lpa lpa = static_cast<Lpa>(rng.nextBounded(ws));
+        written.insert(lpa);
+        now += ssd.write(lpa, now);
+        if (i % 53 == 0)
+            now += ssd.read(*written.begin(), now);
+    }
+    ssd.drainBuffer(now);
+    EXPECT_GT(ssd.stats().gc_runs, 0u);
+
+    for (Lpa lpa : written) {
+        const auto oracle = ssd.oraclePpa(lpa);
+        ASSERT_TRUE(oracle.has_value()) << "lost " << lpa;
+        EXPECT_EQ(ssd.flash().peekLpa(*oracle), lpa);
+        now += ssd.read(lpa, now);
+    }
+    EXPECT_EQ(ssd.stats().unresolved_reads, 0u);
+}
+
+std::vector<SweepParams>
+sweepMatrix()
+{
+    std::vector<SweepParams> out;
+    for (FtlKind ftl :
+         {FtlKind::DFTL, FtlKind::SFTL, FtlKind::LeaFTL}) {
+        for (uint32_t page : {2048u, 4096u, 8192u, 16384u})
+            out.push_back({ftl, page, 4});
+        out.push_back({ftl, 4096, 1});
+        out.push_back({ftl, 4096, 16});
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep, ::testing::ValuesIn(sweepMatrix()),
+    [](const auto &info) {
+        return std::string(ftlKindName(info.param.ftl)) + "_p" +
+               std::to_string(info.param.page_size) + "_ch" +
+               std::to_string(info.param.channels);
+    });
+
+} // namespace
+} // namespace leaftl

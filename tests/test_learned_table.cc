@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the LearnedTable facade: multi-group learning, stats,
+ * memory accounting, compaction, serialization round-trips, and a
+ * differential property test across many groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "learned/learned_table.hh"
+#include "util/rng.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+std::vector<std::pair<Lpa, Ppa>>
+seqRun(Lpa first, uint32_t n, Ppa p0)
+{
+    std::vector<std::pair<Lpa, Ppa>> run;
+    for (uint32_t i = 0; i < n; i++)
+        run.emplace_back(first + i, p0 + i);
+    return run;
+}
+
+TEST(LearnedTable, SequentialRunOneSegmentPerGroup)
+{
+    LearnedTable t(0);
+    t.learn(seqRun(0, 1024, 5000));
+    EXPECT_EQ(t.numGroups(), 4u);
+    EXPECT_EQ(t.numSegments(), 4u);
+    EXPECT_EQ(t.memoryBytes(), 4u * 8);
+    for (Lpa lpa = 0; lpa < 1024; lpa++) {
+        auto r = t.lookup(lpa);
+        ASSERT_TRUE(r.has_value()) << lpa;
+        EXPECT_EQ(r->ppa, 5000u + lpa);
+        EXPECT_FALSE(r->approximate);
+    }
+    EXPECT_FALSE(t.lookup(1024).has_value());
+    EXPECT_FALSE(t.lookup(999999).has_value());
+}
+
+TEST(LearnedTable, MemoryFarBelowPageLevelMapping)
+{
+    // The headline claim: sequential mappings compress by ~avg(L)*8/8.
+    LearnedTable t(0);
+    const uint32_t n = 64 * 1024;
+    t.learn(seqRun(0, n, 0));
+    const size_t page_level = static_cast<size_t>(n) * kMapEntryBytes;
+    EXPECT_LT(t.memoryBytes() * 100, page_level);
+}
+
+TEST(LearnedTable, RandomPointsNoWorseThanPageLevel)
+{
+    // Paper §3.1: the worst case degenerates to single-point segments
+    // costing no more than the 8-byte page-level entries.
+    LearnedTable t(0);
+    Rng rng(7);
+    std::vector<std::pair<Lpa, Ppa>> run;
+    Lpa lpa = 0;
+    Ppa ppa = 0;
+    for (int i = 0; i < 1000; i++) {
+        lpa += 2 + rng.nextBounded(50); // Irregular gaps.
+        ppa += 1 + rng.nextBounded(9);  // Irregular PPA jumps.
+        run.emplace_back(lpa, ppa);
+    }
+    t.learn(run);
+    EXPECT_LE(t.memoryBytes(), run.size() * kMapEntryBytes);
+}
+
+TEST(LearnedTable, StatsCountCreation)
+{
+    LearnedTable t(4);
+    t.learn(seqRun(0, 256, 0));
+    const auto &st = t.stats();
+    EXPECT_EQ(st.segments_created, 1u);
+    EXPECT_EQ(st.accurate_created, 1u);
+    EXPECT_EQ(st.approximate_created, 0u);
+    EXPECT_EQ(st.creation_lengths.max(), 256.0);
+
+    // Irregular pattern creates approximate segments at gamma=4.
+    std::vector<std::pair<Lpa, Ppa>> run;
+    Rng rng(3);
+    Lpa lpa = 1000;
+    Ppa ppa = 9000;
+    for (int i = 0; i < 40; i++) {
+        run.emplace_back(lpa, ppa++);
+        lpa += 1 + rng.nextBounded(4);
+    }
+    t.learn(run);
+    EXPECT_GT(t.stats().approximate_created, 0u);
+}
+
+TEST(LearnedTable, LookupStatsTrackLevels)
+{
+    LearnedTable t(0);
+    t.learn(seqRun(0, 256, 0));
+    t.learn(seqRun(64, 64, 5000)); // Interior overwrite: 2 levels.
+    t.lookup(10);
+    t.lookup(70);
+    const auto &st = t.stats();
+    EXPECT_EQ(st.lookups, 2u);
+    EXPECT_GE(st.lookup_levels_total, 3u);
+}
+
+TEST(LearnedTable, SerializeRoundTripPreservesLookups)
+{
+    LearnedTable t(4);
+    Rng rng(11);
+    std::map<Lpa, Ppa> truth;
+    Ppa next_ppa = 100;
+    for (int round = 0; round < 30; round++) {
+        std::vector<std::pair<Lpa, Ppa>> run;
+        Lpa lpa = rng.nextBounded(2000);
+        for (int i = 0; i < 50; i++) {
+            run.emplace_back(lpa, next_ppa);
+            truth[lpa] = next_ppa;
+            next_ppa++;
+            lpa += 1 + rng.nextBounded(5);
+        }
+        t.learn(run);
+    }
+
+    const auto blob = t.serialize();
+    auto restored = LearnedTable::deserialize(blob);
+    restored->checkInvariants();
+    EXPECT_EQ(restored->gamma(), 4u);
+    EXPECT_EQ(restored->numSegments(), t.numSegments());
+    EXPECT_EQ(restored->memoryBytes(), t.memoryBytes());
+
+    for (const auto &[lpa, ppa] : truth) {
+        auto a = t.lookup(lpa);
+        auto b = restored->lookup(lpa);
+        ASSERT_TRUE(a.has_value());
+        ASSERT_TRUE(b.has_value());
+        EXPECT_EQ(a->ppa, b->ppa) << lpa;
+        EXPECT_EQ(a->approximate, b->approximate);
+    }
+}
+
+TEST(LearnedTable, EmptySerializeRoundTrip)
+{
+    LearnedTable t(2);
+    auto restored = LearnedTable::deserialize(t.serialize());
+    EXPECT_EQ(restored->gamma(), 2u);
+    EXPECT_EQ(restored->numSegments(), 0u);
+    EXPECT_FALSE(restored->lookup(0).has_value());
+}
+
+TEST(LearnedTable, CompactionNeverLosesMappings)
+{
+    LearnedTable t(0);
+    std::map<Lpa, Ppa> truth;
+    Ppa next_ppa = 0;
+    for (int layer = 0; layer < 8; layer++) {
+        auto run = seqRun(layer * 10, 300, next_ppa);
+        for (auto &[l, p] : run)
+            truth[l] = p;
+        t.learn(run);
+        next_ppa += 1000;
+    }
+    const size_t before = t.memoryBytes();
+    t.compact();
+    EXPECT_LE(t.memoryBytes(), before);
+    t.checkInvariants();
+    for (const auto &[lpa, ppa] : truth) {
+        auto r = t.lookup(lpa);
+        ASSERT_TRUE(r.has_value()) << lpa;
+        EXPECT_EQ(r->ppa, ppa) << lpa;
+    }
+}
+
+TEST(LearnedTable, LevelsAndCrbSampleSets)
+{
+    LearnedTable t(8);
+    t.learn(seqRun(0, 256, 0));
+    t.learn(seqRun(500, 128, 5000));
+    EXPECT_EQ(t.levelsPerGroup().count(), t.numGroups());
+    EXPECT_EQ(t.crbSizes().count(), t.numGroups());
+}
+
+TEST(LearnedTable, LearnReportsTouchedGroups)
+{
+    LearnedTable t(0);
+    const auto touched = t.learn(seqRun(200, 200, 0)); // Groups 0 and 1.
+    ASSERT_EQ(touched.size(), 2u);
+    EXPECT_EQ(touched[0], 0u);
+    EXPECT_EQ(touched[1], 1u);
+    EXPECT_TRUE(t.learn({}).empty());
+}
+
+TEST(LearnedTable, GroupBytesAndIteration)
+{
+    LearnedTable t(0);
+    t.learn(seqRun(0, 256, 0));
+    t.learn(seqRun(512, 256, 1000));
+    EXPECT_EQ(t.groupBytes(0), 8u);
+    EXPECT_EQ(t.groupBytes(2), 8u);
+    EXPECT_EQ(t.groupBytes(1), 0u); // Untouched group.
+    size_t seen = 0, total = 0;
+    t.forEachGroup([&](uint32_t idx) {
+        seen++;
+        total += t.groupBytes(idx);
+    });
+    EXPECT_EQ(seen, 2u);
+    EXPECT_EQ(total, t.memoryBytes());
+}
+
+class TableRandomSweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>>
+{
+};
+
+TEST_P(TableRandomSweep, DifferentialAcrossGroups)
+{
+    const uint32_t gamma = std::get<0>(GetParam());
+    Rng rng(std::get<1>(GetParam()) * 7919 + 13);
+    LearnedTable t(gamma);
+    std::map<Lpa, Ppa> truth;
+    Ppa next_ppa = 1;
+
+    for (int round = 0; round < 40; round++) {
+        std::vector<std::pair<Lpa, Ppa>> run;
+        Lpa lpa = rng.nextBounded(4096);
+        const uint32_t n = 1 + rng.nextBounded(300);
+        for (uint32_t i = 0; i < n; i++) {
+            run.emplace_back(lpa, next_ppa);
+            truth[lpa] = next_ppa;
+            next_ppa++;
+            lpa += 1 + rng.nextBounded(6);
+        }
+        t.learn(run);
+        if (round % 13 == 12)
+            t.compact();
+    }
+    t.checkInvariants();
+
+    for (const auto &[lpa, ppa] : truth) {
+        auto r = t.lookup(lpa);
+        ASSERT_TRUE(r.has_value()) << lpa;
+        const int64_t err = static_cast<int64_t>(r->ppa) -
+                            static_cast<int64_t>(ppa);
+        const int64_t bound = r->approximate ? gamma : 0;
+        EXPECT_LE(std::llabs(err), bound) << lpa;
+    }
+    // Unwritten LPAs must not resolve.
+    for (int probe = 0; probe < 200; probe++) {
+        const Lpa lpa = static_cast<Lpa>(rng.nextBounded(10000));
+        if (!truth.count(lpa))
+            EXPECT_FALSE(t.lookup(lpa).has_value()) << lpa;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaSeeds, TableRandomSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 4u, 16u),
+                       ::testing::Range<uint64_t>(0, 10)));
+
+} // namespace
+} // namespace leaftl

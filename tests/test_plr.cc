@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit and property tests for the greedy error-bounded PLR fitter
+ * (§3.1-§3.3). The central property: every fitted segment's *encoded*
+ * prediction is exact for accurate segments and within [-gamma,
+ * +gamma] for approximate ones, for every covered offset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "learned/plr.hh"
+#include "util/rng.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+/** Verify the fitted cover: exact-once coverage + error bounds. */
+void
+verifyFit(const std::vector<PlrPoint> &pts,
+          const std::vector<FittedSegment> &fit, uint32_t gamma)
+{
+    std::map<uint8_t, Ppa> truth;
+    for (const auto &p : pts)
+        truth[p.off] = p.ppa;
+
+    std::map<uint8_t, size_t> covered;
+    for (const auto &fs : fit) {
+        for (uint8_t off : fs.offs) {
+            covered[off]++;
+            ASSERT_TRUE(truth.count(off)) << "fit invented offset";
+            const int64_t pred = fs.seg.predict(off);
+            const int64_t want = truth[off];
+            const int64_t bound = fs.seg.approximate() ? gamma : 0;
+            EXPECT_LE(std::llabs(pred - want), bound)
+                << "off=" << int(off) << " gamma=" << gamma;
+        }
+        EXPECT_GE(fs.offs.size(), 1u);
+        EXPECT_EQ(fs.seg.slpa(), fs.offs.front());
+        EXPECT_EQ(fs.seg.endOff(), fs.offs.back());
+    }
+    EXPECT_EQ(covered.size(), truth.size()) << "incomplete cover";
+    for (const auto &[off, n] : covered)
+        EXPECT_EQ(n, 1u) << "offset covered twice";
+}
+
+std::vector<PlrPoint>
+seqPoints(uint8_t start, uint32_t n, Ppa p0, uint32_t stride = 1)
+{
+    std::vector<PlrPoint> pts;
+    for (uint32_t i = 0; i < n; i++)
+        pts.push_back({static_cast<uint8_t>(start + i * stride),
+                       p0 + i});
+    return pts;
+}
+
+TEST(Plr, SequentialRunYieldsOneAccurateSegment)
+{
+    const auto pts = seqPoints(0, 256, 1000);
+    const auto fit = fitGroupSegments(pts, 0);
+    ASSERT_EQ(fit.size(), 1u);
+    EXPECT_FALSE(fit[0].seg.approximate());
+    EXPECT_EQ(fit[0].offs.size(), 256u);
+    verifyFit(pts, fit, 0);
+}
+
+TEST(Plr, StridedRunYieldsOneAccurateSegment)
+{
+    // Fig. 1 pattern B: regular stride 2.
+    const auto pts = seqPoints(10, 100, 200, 2);
+    const auto fit = fitGroupSegments(pts, 0);
+    ASSERT_EQ(fit.size(), 1u);
+    EXPECT_FALSE(fit[0].seg.approximate());
+    EXPECT_EQ(fit[0].seg.stride(), 2u);
+    verifyFit(pts, fit, 0);
+}
+
+TEST(Plr, IrregularPatternSplitsAtGammaZero)
+{
+    // Fig. 6 approximate example: {0,1,4,5} with consecutive PPAs is
+    // NOT collinear, so gamma=0 must split it.
+    const std::vector<PlrPoint> pts = {
+        {0, 64}, {1, 65}, {4, 66}, {5, 67}};
+    const auto fit = fitGroupSegments(pts, 0);
+    EXPECT_GE(fit.size(), 2u);
+    for (const auto &fs : fit)
+        EXPECT_FALSE(fs.seg.approximate());
+    verifyFit(pts, fit, 0);
+}
+
+TEST(Plr, IrregularPatternFitsOneApproximateAtGammaOne)
+{
+    const std::vector<PlrPoint> pts = {
+        {0, 64}, {1, 65}, {4, 66}, {5, 67}};
+    const auto fit = fitGroupSegments(pts, 1);
+    ASSERT_EQ(fit.size(), 1u);
+    EXPECT_TRUE(fit[0].seg.approximate());
+    verifyFit(pts, fit, 1);
+}
+
+TEST(Plr, SinglePointBecomesSinglePointSegment)
+{
+    const std::vector<PlrPoint> pts = {{77, 999}};
+    const auto fit = fitGroupSegments(pts, 4);
+    ASSERT_EQ(fit.size(), 1u);
+    EXPECT_TRUE(fit[0].seg.singlePoint());
+    EXPECT_EQ(fit[0].seg.predict(77), 999u);
+}
+
+TEST(Plr, EmptyInputYieldsNothing)
+{
+    EXPECT_TRUE(fitGroupSegments({}, 0).empty());
+    EXPECT_TRUE(fitRun({}, 4).empty());
+}
+
+TEST(Plr, LargerGammaNeverProducesMoreSegments)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 20; trial++) {
+        std::vector<PlrPoint> pts;
+        Ppa ppa = static_cast<Ppa>(rng.nextBounded(100000));
+        uint32_t off = 0;
+        while (off < 256) {
+            pts.push_back({static_cast<uint8_t>(off), ppa++});
+            off += 1 + rng.nextBounded(4);
+        }
+        size_t prev = SIZE_MAX;
+        for (uint32_t gamma : {0u, 1u, 4u, 8u, 16u}) {
+            const auto fit = fitGroupSegments(pts, gamma);
+            verifyFit(pts, fit, gamma);
+            EXPECT_LE(fit.size(), prev) << "gamma=" << gamma;
+            prev = fit.size();
+        }
+    }
+}
+
+TEST(Plr, FitRunSplitsAtGroupBoundaries)
+{
+    // A run crossing LPA 256 must split into two group fits.
+    std::vector<std::pair<Lpa, Ppa>> run;
+    for (Lpa lpa = 250; lpa < 262; lpa++)
+        run.emplace_back(lpa, 5000 + lpa);
+    const auto fits = fitRun(run, 0);
+    ASSERT_EQ(fits.size(), 2u);
+    EXPECT_EQ(fits[0].first, 0u);
+    EXPECT_EQ(fits[1].first, 1u);
+    ASSERT_EQ(fits[0].second.size(), 1u);
+    ASSERT_EQ(fits[1].second.size(), 1u);
+    EXPECT_EQ(fits[0].second[0].offs.front(), 250u);
+    EXPECT_EQ(fits[1].second[0].offs.front(), 0u);
+}
+
+TEST(Plr, RunLengthsMotivationStudy)
+{
+    // Ungrouped study helper (Fig. 5): a long sequential run is one
+    // segment regardless of the 256 group limit.
+    std::vector<std::pair<Lpa, Ppa>> run;
+    for (Lpa lpa = 0; lpa < 2048; lpa++)
+        run.emplace_back(lpa, 10000 + lpa);
+    const auto lengths = plrRunLengths(run, 0);
+    ASSERT_EQ(lengths.size(), 1u);
+    EXPECT_EQ(lengths[0], 2048u);
+}
+
+TEST(Plr, RunLengthsGrowWithGamma)
+{
+    Rng rng(123);
+    std::vector<std::pair<Lpa, Ppa>> run;
+    Lpa lpa = 0;
+    Ppa ppa = 0;
+    for (int i = 0; i < 5000; i++) {
+        run.emplace_back(lpa, ppa++);
+        lpa += 1 + rng.nextBounded(3);
+    }
+    double prev_avg = 0.0;
+    for (uint32_t gamma : {0u, 4u, 8u}) {
+        const auto lengths = plrRunLengths(run, gamma);
+        uint64_t total = 0;
+        for (uint32_t l : lengths)
+            total += l;
+        EXPECT_EQ(total, run.size());
+        const double avg = static_cast<double>(total) / lengths.size();
+        EXPECT_GE(avg, prev_avg);
+        prev_avg = avg;
+    }
+}
+
+/** Property sweep: random irregular patterns at several gammas. */
+class PlrRandomSweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>>
+{
+};
+
+TEST_P(PlrRandomSweep, EncodedBoundHolds)
+{
+    const uint32_t gamma = std::get<0>(GetParam());
+    Rng rng(std::get<1>(GetParam()));
+    std::vector<PlrPoint> pts;
+    Ppa ppa = static_cast<Ppa>(rng.nextBounded(1u << 30));
+    uint32_t off = rng.nextBounded(8);
+    while (off < 256) {
+        pts.push_back({static_cast<uint8_t>(off), ppa});
+        ppa += 1; // Flush batches have consecutive PPAs.
+        off += 1 + rng.nextBounded(6);
+    }
+    const auto fit = fitGroupSegments(pts, gamma);
+    verifyFit(pts, fit, gamma);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaSeeds, PlrRandomSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 4u, 16u),
+                       ::testing::Range<uint64_t>(0, 25)));
+
+/** PPAs with gaps (multi-block flushes) must also respect bounds. */
+TEST(Plr, PpaGapsAcrossBlocksStillBounded)
+{
+    std::vector<PlrPoint> pts;
+    Ppa ppa = 1000;
+    for (uint32_t off = 0; off < 200; off += 2) {
+        pts.push_back({static_cast<uint8_t>(off), ppa++});
+        if (off == 100)
+            ppa += 56; // Jump to the next allocated block.
+    }
+    for (uint32_t gamma : {0u, 4u}) {
+        const auto fit = fitGroupSegments(pts, gamma);
+        verifyFit(pts, fit, gamma);
+    }
+}
+
+} // namespace
+} // namespace leaftl

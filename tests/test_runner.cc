@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Integration tests for the replay runner: all three FTLs process the
+ * same workload, metrics are populated, and the paper's qualitative
+ * relations hold on a small scale (LeaFTL's mapping is the smallest).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "workload/msr_models.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+SsdConfig
+testConfig(FtlKind ftl)
+{
+    SsdConfig cfg;
+    cfg.geometry.num_channels = 4;
+    cfg.geometry.blocks_per_channel = 64;
+    cfg.geometry.pages_per_block = 64;
+    cfg.ftl = ftl;
+    cfg.dram_bytes = 2ull << 20;
+    cfg.write_buffer_bytes = 64ull * 4096;
+    return cfg;
+}
+
+TEST(Runner, PrefillWritesSequentially)
+{
+    Ssd ssd(testConfig(FtlKind::LeaFTL));
+    Runner::prefill(ssd, 1000);
+    EXPECT_EQ(ssd.stats().host_writes, 1000u);
+    EXPECT_GE(ssd.stats().data_writes, 1000u);
+    // Sequential prefill compresses to very few segments.
+    EXPECT_LT(ssd.ftl().fullMappingBytes(), 1000u * kMapEntryBytes / 10);
+}
+
+class RunnerAllFtls : public ::testing::TestWithParam<FtlKind>
+{
+};
+
+TEST_P(RunnerAllFtls, ReplayPopulatesMetrics)
+{
+    Ssd ssd(testConfig(GetParam()));
+    auto wl = makeMsrWorkload("MSR-hm", 4000, 20000);
+    RunOptions opts;
+    opts.prefill_pages = 2000;
+    const RunResult res = Runner::replay(ssd, *wl, opts);
+
+    EXPECT_EQ(res.requests, 20000u);
+    EXPECT_GE(res.pages_touched, res.requests);
+    EXPECT_GT(res.avg_read_latency_us, 0.0);
+    EXPECT_GT(res.avg_write_latency_us, 0.0);
+    EXPECT_GT(res.avg_latency_us, 0.0);
+    EXPECT_GT(res.mapping_bytes, 0u);
+    EXPECT_GT(res.waf, 0.0);
+    EXPECT_EQ(res.ftl, std::string(ftlKindName(GetParam())));
+    EXPECT_EQ(res.workload, "MSR-hm");
+}
+
+INSTANTIATE_TEST_SUITE_P(Ftls, RunnerAllFtls,
+                         ::testing::Values(FtlKind::DFTL, FtlKind::SFTL,
+                                           FtlKind::LeaFTL),
+                         [](const auto &info) {
+                             return ftlKindName(info.param);
+                         });
+
+TEST(Runner, LeaFtlMappingSmallestOnMsrHm)
+{
+    std::vector<RunResult> results;
+    for (FtlKind kind :
+         {FtlKind::DFTL, FtlKind::SFTL, FtlKind::LeaFTL}) {
+        Ssd ssd(testConfig(kind));
+        auto wl = makeMsrWorkload("MSR-hm", 4000, 20000);
+        results.push_back(Runner::replay(ssd, *wl));
+    }
+    EXPECT_LT(results[2].mapping_bytes, results[0].mapping_bytes);
+    EXPECT_LE(results[2].mapping_bytes, results[1].mapping_bytes);
+}
+
+TEST(Runner, LearnedLookupLevelsReported)
+{
+    Ssd ssd(testConfig(FtlKind::LeaFTL));
+    auto wl = makeMsrWorkload("MSR-hm", 4000, 20000);
+    const RunResult res = Runner::replay(ssd, *wl);
+    EXPECT_GE(res.avg_lookup_levels, 1.0);
+    EXPECT_LT(res.avg_lookup_levels, 40.0);
+}
+
+TEST(Runner, GammaReducesMappingBytes)
+{
+    uint64_t prev = UINT64_MAX;
+    for (uint32_t gamma : {0u, 4u, 16u}) {
+        SsdConfig cfg = testConfig(FtlKind::LeaFTL);
+        cfg.gamma = gamma;
+        Ssd ssd(cfg);
+        auto wl = makeMsrWorkload("FIU-mail", 4000, 30000);
+        const RunResult res = Runner::replay(ssd, *wl);
+        EXPECT_LE(res.mapping_bytes, prev) << "gamma=" << gamma;
+        prev = res.mapping_bytes;
+    }
+}
+
+} // namespace
+} // namespace leaftl

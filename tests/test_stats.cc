@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+TEST(RunningStat, TracksMeanMinMax)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSet, ExactPercentiles)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; i++)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+    EXPECT_NEAR(s.percentile(99), 99.01, 0.01);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery)
+{
+    SampleSet s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 10.0);
+    s.add(20.0);
+    EXPECT_NEAR(s.percentile(50), 15.0, 1e-9);
+}
+
+TEST(LatencyHistogram, MeanAndCount)
+{
+    LatencyHistogram h(100.0, 1.05, 400);
+    h.add(1000.0);
+    h.add(3000.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2000.0);
+    EXPECT_DOUBLE_EQ(h.max(), 3000.0);
+}
+
+TEST(LatencyHistogram, PercentileApproximation)
+{
+    LatencyHistogram h(100.0, 1.05, 400);
+    for (int i = 0; i < 990; i++)
+        h.add(1000.0);
+    for (int i = 0; i < 10; i++)
+        h.add(100000.0);
+    // P50 near 1000 (within bucket growth), P99.5 near 100000.
+    EXPECT_NEAR(h.percentile(50.0), 1000.0, 100.0);
+    EXPECT_GT(h.percentile(99.5), 50000.0);
+}
+
+TEST(LatencyHistogram, CdfIsMonotone)
+{
+    LatencyHistogram h(100.0, 1.1, 200);
+    for (int i = 1; i <= 1000; i++)
+        h.add(100.0 * i);
+    const auto cdf = h.cdf();
+    ASSERT_FALSE(cdf.empty());
+    for (size_t i = 1; i < cdf.size(); i++) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(LatencyHistogram, BelowMinimumClamps)
+{
+    LatencyHistogram h(100.0, 1.05, 10);
+    h.add(1.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_LE(h.percentile(50.0), 100.0);
+}
+
+} // namespace
+} // namespace leaftl

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * TRIM/deallocate tests across all three FTLs: trimmed LPAs read as
+ * unmapped, their flash pages become GC-reclaimable without
+ * migration, rewrites after trim work, and LeaFTL's tombstone
+ * segments survive persistence and merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "learned/learned_table.hh"
+#include "ssd/ssd.hh"
+#include "util/rng.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+SsdConfig
+smallConfig(FtlKind ftl, uint32_t gamma = 0)
+{
+    SsdConfig cfg;
+    cfg.geometry.num_channels = 4;
+    cfg.geometry.blocks_per_channel = 32;
+    cfg.geometry.pages_per_block = 32;
+    cfg.ftl = ftl;
+    cfg.gamma = gamma;
+    cfg.dram_bytes = 2ull << 20;
+    cfg.write_buffer_bytes = 32ull * 4096;
+    return cfg;
+}
+
+class TrimAllFtls : public ::testing::TestWithParam<FtlKind>
+{
+};
+
+TEST_P(TrimAllFtls, TrimmedReadIsUnmapped)
+{
+    Ssd ssd(smallConfig(GetParam()));
+    Tick now = 0;
+    for (Lpa l = 0; l < 100; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+
+    now += ssd.trim(50, now);
+    EXPECT_EQ(ssd.stats().host_trims, 1u);
+    EXPECT_FALSE(ssd.oraclePpa(50).has_value());
+
+    const uint64_t unmapped0 = ssd.stats().unmapped_reads;
+    now += ssd.read(50, now);
+    EXPECT_EQ(ssd.stats().unmapped_reads, unmapped0 + 1);
+    // Neighbors unaffected.
+    ASSERT_TRUE(ssd.oraclePpa(49).has_value());
+    ASSERT_TRUE(ssd.oraclePpa(51).has_value());
+}
+
+TEST_P(TrimAllFtls, TrimInvalidatesFlashPage)
+{
+    Ssd ssd(smallConfig(GetParam()));
+    Tick now = 0;
+    for (Lpa l = 0; l < 64; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+
+    const auto ppa = ssd.oraclePpa(7);
+    ASSERT_TRUE(ppa.has_value());
+    EXPECT_TRUE(ssd.blocks().isValid(*ppa));
+    now += ssd.trim(7, now);
+    EXPECT_FALSE(ssd.blocks().isValid(*ppa));
+}
+
+TEST_P(TrimAllFtls, RewriteAfterTrim)
+{
+    Ssd ssd(smallConfig(GetParam()));
+    Tick now = 0;
+    for (Lpa l = 0; l < 64; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+    now += ssd.trim(10, now);
+    now += ssd.write(10, now);
+    ssd.drainBuffer(now);
+    const auto ppa = ssd.oraclePpa(10);
+    ASSERT_TRUE(ppa.has_value());
+    EXPECT_EQ(ssd.flash().peekLpa(*ppa), 10u);
+    now += ssd.read(10, now);
+    EXPECT_EQ(ssd.stats().unresolved_reads, 0u);
+}
+
+TEST_P(TrimAllFtls, TrimOfBufferedWriteDropsIt)
+{
+    Ssd ssd(smallConfig(GetParam()));
+    Tick now = 0;
+    now += ssd.write(5, now); // Stays in the buffer.
+    now += ssd.trim(5, now);
+    ssd.drainBuffer(now);
+    EXPECT_FALSE(ssd.oraclePpa(5).has_value());
+    EXPECT_EQ(ssd.stats().data_writes, 0u); // Never hit flash.
+}
+
+TEST_P(TrimAllFtls, TrimOfUnmappedIsNoop)
+{
+    Ssd ssd(smallConfig(GetParam()));
+    const Tick lat = ssd.trim(1000, 0);
+    EXPECT_EQ(lat, ssd.config().latency.dram_access);
+    EXPECT_EQ(ssd.stats().host_trims, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ftls, TrimAllFtls,
+                         ::testing::Values(FtlKind::DFTL, FtlKind::SFTL,
+                                           FtlKind::LeaFTL),
+                         [](const auto &info) {
+                             return ftlKindName(info.param);
+                         });
+
+TEST(Trim, LeaFtlTombstoneSurvivesMerges)
+{
+    Ssd ssd(smallConfig(FtlKind::LeaFTL));
+    Tick now = 0;
+    for (Lpa l = 0; l < 256; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+    now += ssd.trim(100, now);
+
+    // Overwrite everything around the tombstone; it must keep
+    // shadowing the old mapping until LPA 100 is rewritten.
+    for (Lpa l = 0; l < 100; l++)
+        now += ssd.write(l, now);
+    for (Lpa l = 101; l < 256; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+    EXPECT_FALSE(ssd.oraclePpa(100).has_value());
+    for (Lpa l = 98; l < 103; l++) {
+        if (l != 100)
+            ASSERT_TRUE(ssd.oraclePpa(l).has_value()) << l;
+    }
+}
+
+TEST(Trim, LeaFtlTombstoneSurvivesPersistAndRecovery)
+{
+    Ssd ssd(smallConfig(FtlKind::LeaFTL, /*gamma=*/4));
+    Tick now = 0;
+    for (Lpa l = 0; l < 200; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+    now += ssd.trim(42, now);
+    ssd.persistMapping(now);
+    ssd.crashAndRecover(now);
+    EXPECT_FALSE(ssd.oraclePpa(42).has_value());
+    now += ssd.read(42, now); // Unmapped, not a crash.
+    ASSERT_TRUE(ssd.oraclePpa(43).has_value());
+}
+
+TEST(Trim, StaleMappingAfterCrashServedAsUnresolved)
+{
+    // Trim AFTER the snapshot, then crash: recovery restores the
+    // pre-trim mapping, but the PVT (persisted) knows the page is
+    // invalid, so the read is served as zeros and counted.
+    Ssd ssd(smallConfig(FtlKind::LeaFTL));
+    Tick now = 0;
+    for (Lpa l = 0; l < 100; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+    ssd.persistMapping(now);
+    now += ssd.trim(10, now);
+    ssd.crashAndRecover(now);
+
+    const uint64_t unresolved0 = ssd.stats().unresolved_reads;
+    now += ssd.read(10, now);
+    EXPECT_EQ(ssd.stats().unresolved_reads, unresolved0 + 1);
+}
+
+TEST(Trim, GcReclaimsTrimmedSpaceWithoutMigration)
+{
+    Ssd ssd(smallConfig(FtlKind::LeaFTL));
+    const uint64_t ws = ssd.config().hostPages() / 2;
+    Tick now = 0;
+    // Fill, then trim half the pages; GC of trimmed blocks should
+    // move almost nothing.
+    for (uint64_t l = 0; l < ws; l++)
+        now += ssd.write(static_cast<Lpa>(l), now);
+    ssd.drainBuffer(now);
+    for (uint64_t l = 0; l < ws; l += 2)
+        now += ssd.trim(static_cast<Lpa>(l), now);
+
+    const uint64_t gc_writes0 = ssd.stats().gc_writes;
+    // Write fresh data to force GC over the half-invalid blocks.
+    Rng rng(3);
+    for (uint64_t i = 0; i < ws * 3; i++) {
+        const Lpa lpa = static_cast<Lpa>(1 + 2 * rng.nextBounded(ws / 2));
+        now += ssd.write(lpa, now);
+    }
+    ssd.drainBuffer(now);
+    EXPECT_GT(ssd.stats().gc_runs, 0u);
+    // GC moved only live pages: migrated writes are bounded well
+    // below the trimmed volume.
+    EXPECT_LT(ssd.stats().gc_writes - gc_writes0, ws * 4);
+    EXPECT_EQ(ssd.stats().unresolved_reads, 0u);
+}
+
+} // namespace
+} // namespace leaftl

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for workload generators (MSR/FIU and app models) and the MSR
+ * trace parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/app_models.hh"
+#include "workload/msr_models.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+TEST(MixWorkload, ProducesRequestedCount)
+{
+    MixSpec spec;
+    spec.num_requests = 1000;
+    spec.working_set_pages = 4096;
+    MixWorkload wl(spec);
+    IoRequest req;
+    uint64_t n = 0;
+    while (wl.next(req))
+        n++;
+    EXPECT_EQ(n, 1000u);
+    EXPECT_FALSE(wl.next(req));
+}
+
+TEST(MixWorkload, DeterministicAcrossResets)
+{
+    MixSpec spec;
+    spec.num_requests = 500;
+    spec.seed = 77;
+    MixWorkload wl(spec);
+    std::vector<IoRequest> first;
+    IoRequest req;
+    while (wl.next(req))
+        first.push_back(req);
+    wl.reset();
+    size_t i = 0;
+    while (wl.next(req)) {
+        ASSERT_LT(i, first.size());
+        EXPECT_EQ(req.lpa, first[i].lpa);
+        EXPECT_EQ(static_cast<int>(req.op),
+                  static_cast<int>(first[i].op));
+        EXPECT_EQ(req.npages, first[i].npages);
+        i++;
+    }
+    EXPECT_EQ(i, first.size());
+}
+
+TEST(MixWorkload, StaysInWorkingSet)
+{
+    MixSpec spec;
+    spec.num_requests = 5000;
+    spec.working_set_pages = 1000;
+    spec.p_seq = 0.4;
+    spec.p_stride = 0.2;
+    spec.p_log = 0.2;
+    spec.zipf_theta = 0.8;
+    MixWorkload wl(spec);
+    IoRequest req;
+    while (wl.next(req))
+        EXPECT_LT(req.lpa, 1000u);
+}
+
+TEST(MixWorkload, ReadRatioApproximatelyHonored)
+{
+    MixSpec spec;
+    spec.num_requests = 20000;
+    spec.read_ratio = 0.7;
+    spec.p_log = 0.0; // Log appends are always writes.
+    MixWorkload wl(spec);
+    IoRequest req;
+    uint64_t reads = 0, total = 0;
+    while (wl.next(req)) {
+        reads += req.op == Op::Read ? 1 : 0;
+        total++;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / total, 0.7, 0.05);
+}
+
+TEST(MixWorkload, ArrivalsMonotone)
+{
+    MixSpec spec;
+    spec.num_requests = 1000;
+    MixWorkload wl(spec);
+    IoRequest req;
+    Tick prev = 0;
+    while (wl.next(req)) {
+        EXPECT_GT(req.arrival, prev);
+        prev = req.arrival;
+    }
+}
+
+TEST(MixWorkload, LogAppendsAreSequentialWrites)
+{
+    MixSpec spec;
+    spec.num_requests = 3000;
+    spec.working_set_pages = 10000;
+    spec.p_seq = 0.0;
+    spec.p_stride = 0.0;
+    spec.p_log = 1.0; // Only log appends.
+    spec.log_fraction = 0.1;
+    MixWorkload wl(spec);
+    IoRequest req;
+    const Lpa log_start = 9000; // ws - ws*log_fraction.
+    Lpa prev = 0;
+    bool first = true;
+    while (wl.next(req)) {
+        EXPECT_EQ(static_cast<int>(req.op), static_cast<int>(Op::Write));
+        EXPECT_GE(req.lpa, log_start);
+        if (!first && req.lpa > prev)
+            EXPECT_GE(req.lpa, prev); // Monotone until wrap.
+        prev = req.lpa;
+        first = false;
+    }
+}
+
+TEST(MixWorkload, StrideComponentProducesStrides)
+{
+    MixSpec spec;
+    spec.num_requests = 2000;
+    spec.working_set_pages = 100000;
+    spec.p_seq = 0.0;
+    spec.p_stride = 1.0;
+    spec.stride = 8;
+    spec.stride_len_mean = 16;
+    MixWorkload wl(spec);
+    IoRequest req;
+    Lpa prev = 0;
+    uint64_t stride_steps = 0, total = 0;
+    bool first = true;
+    while (wl.next(req)) {
+        if (!first && req.lpa == prev + 8)
+            stride_steps++;
+        prev = req.lpa;
+        first = false;
+        total++;
+    }
+    // Most consecutive requests continue a stride-8 sweep.
+    EXPECT_GT(stride_steps * 10, total * 7);
+}
+
+TEST(MsrModels, AllNamesConstruct)
+{
+    for (const auto &name : msrWorkloadNames()) {
+        auto wl = makeMsrWorkload(name, 10000, 100);
+        IoRequest req;
+        uint64_t n = 0;
+        while (wl->next(req))
+            n++;
+        EXPECT_EQ(n, 100u) << name;
+    }
+    EXPECT_EQ(msrWorkloadNames().size(), 7u);
+}
+
+TEST(MsrModels, ProfilesDiffer)
+{
+    // MSR-src2 (sequential) must produce far fewer distinct "run
+    // starts" than FIU-mail (random) -- proxy: unique LPAs touched.
+    auto count_writes = [](const std::string &name) {
+        auto wl = makeMsrWorkload(name, 50000, 20000);
+        IoRequest req;
+        uint64_t writes = 0;
+        while (wl->next(req))
+            writes += req.op == Op::Write ? 1 : 0;
+        return writes;
+    };
+    // prxy is much more write-heavy than usr.
+    EXPECT_GT(count_writes("MSR-prxy"), count_writes("MSR-usr"));
+}
+
+TEST(MsrModelsDeath, UnknownNameFatal)
+{
+    EXPECT_DEATH(msrSpec("MSR-nope", 100, 100), "unknown");
+}
+
+TEST(AppModels, AllNamesConstruct)
+{
+    for (const auto &name : appWorkloadNames()) {
+        auto wl = makeAppWorkload(name, 10000, 100);
+        IoRequest req;
+        uint64_t n = 0;
+        while (wl->next(req))
+            n++;
+        EXPECT_EQ(n, 100u) << name;
+    }
+    EXPECT_EQ(appWorkloadNames().size(), 5u);
+}
+
+TEST(Trace, ParsesMsrCsv)
+{
+    const char *path = "/tmp/leaftl_test_trace.csv";
+    {
+        std::ofstream out(path);
+        out << "128166372003061629,hm,0,Read,8192,8192,151\n";
+        out << "128166372016382155,hm,0,Write,12288,4096,388\n";
+        out << "# comment line\n";
+        out << "bogus,line,without,numbers,a,b\n";
+        out << "128166372026382155,hm,0,Write,4097,4096,388\n";
+    }
+    const auto reqs = loadMsrTrace(path, 4096);
+    std::remove(path);
+
+    ASSERT_EQ(reqs.size(), 3u);
+    EXPECT_EQ(static_cast<int>(reqs[0].op), static_cast<int>(Op::Read));
+    EXPECT_EQ(reqs[0].lpa, 2u);
+    EXPECT_EQ(reqs[0].npages, 2u);
+    EXPECT_EQ(reqs[0].arrival, 0u);
+
+    EXPECT_EQ(static_cast<int>(reqs[1].op), static_cast<int>(Op::Write));
+    EXPECT_EQ(reqs[1].lpa, 3u);
+    EXPECT_EQ(reqs[1].npages, 1u);
+    EXPECT_GT(reqs[1].arrival, 0u);
+
+    // Unaligned offset: covers two pages.
+    EXPECT_EQ(reqs[2].lpa, 1u);
+    EXPECT_EQ(reqs[2].npages, 2u);
+}
+
+TEST(Trace, WrapsLpaSpace)
+{
+    const char *path = "/tmp/leaftl_test_trace2.csv";
+    {
+        std::ofstream out(path);
+        out << "1,hm,0,Write,40960000,4096,1\n";
+    }
+    const auto reqs = loadMsrTrace(path, 4096, 100);
+    std::remove(path);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_LT(reqs[0].lpa, 100u);
+}
+
+TEST(Trace, ParsesFiuFormat)
+{
+    const char *path = "/tmp/leaftl_test_fiu.txt";
+    {
+        std::ofstream out(path);
+        out << "1000.000123 4892 mailsrv 2048 8 W 0 0 abc\n";
+        out << "1000.000456 4892 mailsrv 16 16 R 0 0 def\n";
+        out << "# comment\n";
+        out << "garbage line here\n";
+    }
+    const auto reqs = loadFiuTrace(path, 4096);
+    std::remove(path);
+
+    ASSERT_EQ(reqs.size(), 2u);
+    // LBA 2048 sectors * 512 = 1 MiB -> LPA 256; 8 sectors = 1 page.
+    EXPECT_EQ(static_cast<int>(reqs[0].op), static_cast<int>(Op::Write));
+    EXPECT_EQ(reqs[0].lpa, 256u);
+    EXPECT_EQ(reqs[0].npages, 1u);
+    EXPECT_EQ(reqs[0].arrival, 0u);
+    // LBA 16 sectors = 8 KiB -> LPA 2; 16 sectors = 8 KiB = 2 pages.
+    EXPECT_EQ(static_cast<int>(reqs[1].op), static_cast<int>(Op::Read));
+    EXPECT_EQ(reqs[1].lpa, 2u);
+    EXPECT_EQ(reqs[1].npages, 2u);
+    EXPECT_NEAR(static_cast<double>(reqs[1].arrival), 333000.0, 5000.0);
+}
+
+TEST(Trace, FiuWrapsLpaSpace)
+{
+    const char *path = "/tmp/leaftl_test_fiu2.txt";
+    {
+        std::ofstream out(path);
+        out << "5.0 1 p 999999 8 w 0 0 x\n";
+    }
+    const auto reqs = loadFiuTrace(path, 4096, 1000);
+    std::remove(path);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_LT(reqs[0].lpa, 1000u);
+}
+
+TEST(Trace, ReplayWorkload)
+{
+    std::vector<IoRequest> reqs(3);
+    reqs[0].lpa = 1;
+    reqs[1].lpa = 2;
+    reqs[2].lpa = 3;
+    TraceWorkload wl("t", reqs);
+    EXPECT_EQ(wl.size(), 3u);
+    IoRequest req;
+    uint64_t n = 0;
+    while (wl.next(req))
+        n++;
+    EXPECT_EQ(n, 3u);
+    wl.reset();
+    ASSERT_TRUE(wl.next(req));
+    EXPECT_EQ(req.lpa, 1u);
+}
+
+} // namespace
+} // namespace leaftl

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the LPA-coalescing write buffer (§3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/write_buffer.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+TEST(WriteBuffer, AddAndContains)
+{
+    WriteBuffer wb(4);
+    EXPECT_TRUE(wb.empty());
+    EXPECT_TRUE(wb.add(10));
+    EXPECT_TRUE(wb.contains(10));
+    EXPECT_FALSE(wb.contains(11));
+    EXPECT_EQ(wb.size(), 1u);
+}
+
+TEST(WriteBuffer, OverwriteCoalesces)
+{
+    WriteBuffer wb(4);
+    EXPECT_TRUE(wb.add(5));
+    EXPECT_FALSE(wb.add(5)); // Coalesced, no new flash write needed.
+    EXPECT_EQ(wb.size(), 1u);
+}
+
+TEST(WriteBuffer, FullAtCapacity)
+{
+    WriteBuffer wb(3);
+    wb.add(1);
+    wb.add(2);
+    EXPECT_FALSE(wb.full());
+    wb.add(3);
+    EXPECT_TRUE(wb.full());
+}
+
+TEST(WriteBuffer, DrainSortsByLpa)
+{
+    // Fig. 7: pages are flushed in ascending LPA order.
+    WriteBuffer wb(8);
+    for (Lpa l : {78u, 32u, 33u, 76u, 115u, 34u, 38u})
+        wb.add(l);
+    const auto sorted = wb.drainSorted();
+    const std::vector<Lpa> want = {32, 33, 34, 38, 76, 78, 115};
+    EXPECT_EQ(sorted, want);
+    EXPECT_TRUE(wb.empty());
+    EXPECT_FALSE(wb.contains(32));
+}
+
+TEST(WriteBuffer, DrainFifoKeepsArrivalOrder)
+{
+    WriteBuffer wb(8);
+    for (Lpa l : {78u, 32u, 33u, 76u})
+        wb.add(l);
+    wb.add(32); // Coalesced: keeps its original position.
+    const auto fifo = wb.drainFifo();
+    const std::vector<Lpa> want = {78, 32, 33, 76};
+    EXPECT_EQ(fifo, want);
+    EXPECT_TRUE(wb.empty());
+}
+
+TEST(WriteBuffer, ReusableAfterDrain)
+{
+    WriteBuffer wb(2);
+    wb.add(1);
+    wb.add(2);
+    wb.drainSorted();
+    EXPECT_TRUE(wb.add(3));
+    EXPECT_EQ(wb.size(), 1u);
+}
+
+} // namespace
+} // namespace leaftl
