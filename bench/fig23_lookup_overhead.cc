@@ -58,7 +58,7 @@ main(int argc, char **argv)
             const auto r =
                 lt->lookup(static_cast<Lpa>(rng.nextBounded(ws)));
             if (r)
-                sink += r->ppa;
+                sink = sink + r->ppa;
         }
         const auto t1 = std::chrono::steady_clock::now();
         const double ns =

@@ -1,0 +1,49 @@
+# End-to-end smoke: run leaftl_sim over a small sweep and assert that
+# it emits a CSV header plus one data row per (ftl, workload, gamma)
+# combination. Invoked by CTest with -DSIM_BIN=<path to leaftl_sim>.
+
+if(NOT SIM_BIN)
+    message(FATAL_ERROR "SIM_BIN not set")
+endif()
+
+execute_process(
+    COMMAND ${SIM_BIN}
+            --ftl leaftl,dftl
+            --workload synthetic:zipf
+            --gamma 0,4
+            --requests 2000
+            --ws 8192
+            --prefill 0.5
+    OUTPUT_VARIABLE sim_out
+    RESULT_VARIABLE sim_rc)
+
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR "leaftl_sim exited with ${sim_rc}:\n${sim_out}")
+endif()
+
+string(STRIP "${sim_out}" sim_out)
+if(sim_out STREQUAL "")
+    message(FATAL_ERROR "leaftl_sim produced no output")
+endif()
+
+string(REPLACE "\n" ";" sim_lines "${sim_out}")
+list(LENGTH sim_lines n_lines)
+
+# Header + one row per (ftl, workload, gamma) = 1 + 2*1*2 = 5 lines.
+if(n_lines LESS 5)
+    message(FATAL_ERROR
+        "expected >= 5 CSV lines (header + 4 rows), got ${n_lines}:\n${sim_out}")
+endif()
+
+list(GET sim_lines 0 header)
+if(NOT header MATCHES "^ftl,workload,gamma,")
+    message(FATAL_ERROR "unexpected CSV header: ${header}")
+endif()
+
+foreach(line IN LISTS sim_lines)
+    if(NOT line MATCHES ",")
+        message(FATAL_ERROR "non-CSV line in output: ${line}")
+    endif()
+endforeach()
+
+message(STATUS "leaftl_sim smoke OK (${n_lines} CSV lines)")

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Entry point of the `leaftl_sim` comparison CLI; all logic lives in
+ * cli/sim_cli.{hh,cc} so tests can exercise it in-process.
+ */
+
+#include "cli/sim_cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return leaftl::cli::simMain(argc, argv);
+}

@@ -1,0 +1,544 @@
+#include "cli/sim_cli.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "sim/runner.hh"
+#include "ssd/ssd.hh"
+#include "workload/app_models.hh"
+#include "workload/msr_models.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace.hh"
+
+namespace leaftl
+{
+namespace cli
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(s);
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+bool
+parseFtlName(const std::string &name, FtlKind &kind)
+{
+    if (name == "leaftl") {
+        kind = FtlKind::LeaFTL;
+    } else if (name == "dftl") {
+        kind = FtlKind::DFTL;
+    } else if (name == "sftl") {
+        kind = FtlKind::SFTL;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+parseU64(const std::string &s, uint64_t &out)
+{
+    // std::stoull accepts (and wraps) negative input; require digits.
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    try {
+        size_t pos = 0;
+        const unsigned long long v = std::stoull(s, &pos);
+        if (pos != s.size())
+            return false;
+        out = v;
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    try {
+        size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        if (pos != s.size())
+            return false;
+        out = v;
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+/** Synthetic pattern presets, each one access shape from paper Fig. 1. */
+MixSpec
+syntheticSpec(const std::string &pattern, const SimOptions &opts,
+              bool &known)
+{
+    MixSpec spec;
+    spec.name = "synthetic:" + pattern;
+    spec.working_set_pages = opts.working_set_pages;
+    spec.num_requests = opts.requests;
+    spec.seed = opts.seed;
+    // Start from a pure random mix; each preset adds one component
+    // (MixSpec's own defaults carry a nonzero p_seq).
+    spec.p_seq = 0.0;
+    spec.p_stride = 0.0;
+    spec.p_log = 0.0;
+    spec.zipf_theta = 0.0;
+    known = true;
+
+    if (pattern == "seq") {
+        spec.p_seq = 1.0;
+        spec.seq_len_mean = 128;
+    } else if (pattern == "rand") {
+        spec.zipf_theta = 0.0;
+    } else if (pattern == "zipf") {
+        spec.zipf_theta = 0.99;
+    } else if (pattern == "stride") {
+        spec.p_stride = 1.0;
+        spec.stride = 4;
+        spec.stride_len_mean = 64;
+    } else if (pattern == "log") {
+        spec.p_log = 1.0;
+        spec.read_ratio = 0.2;
+    } else if (pattern == "mix") {
+        spec.p_seq = 0.3;
+        spec.p_stride = 0.1;
+        spec.p_log = 0.1;
+        spec.zipf_theta = 0.9;
+    } else {
+        known = false;
+    }
+    if (opts.read_ratio >= 0.0)
+        spec.read_ratio = opts.read_ratio;
+    return spec;
+}
+
+bool
+isNamedModel(const std::vector<std::string> &names, const std::string &name)
+{
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string
+fmt(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+usage()
+{
+    std::ostringstream out;
+    out << "leaftl_sim -- trace-driven FTL comparison driver\n"
+        << "\n"
+        << "Usage: leaftl_sim [options]\n"
+        << "  --ftl LIST       comma list of leaftl,dftl,sftl "
+           "(default leaftl)\n"
+        << "  --workload LIST  comma list of workload specs "
+           "(default synthetic:zipf)\n"
+        << "                   synthetic:{seq,rand,zipf,stride,log,mix},\n"
+        << "                   msr:<name>, app:<name>, trace:<csv path>,\n"
+        << "                   fiu:<trace path>; see --list\n"
+        << "  --gamma LIST     comma list of error bounds (default 0)\n"
+        << "  --requests N     requests per run (default 100000)\n"
+        << "  --ws PAGES       working-set pages (default 65536)\n"
+        << "  --dram-mb MB     DRAM budget; 0 derives from the working "
+           "set (default)\n"
+        << "  --prefill FRAC   prefilled fraction of the working set "
+           "(default 0.85)\n"
+        << "  --read-ratio R   override the workload read ratio\n"
+        << "  --seed N         workload RNG seed (default 42)\n"
+        << "  --output PATH    write CSV to PATH instead of stdout\n"
+        << "  --list           print known workloads and exit\n"
+        << "  --help           this text\n";
+    return out.str();
+}
+
+std::vector<std::string>
+knownWorkloads()
+{
+    std::vector<std::string> out;
+    for (const char *p : {"seq", "rand", "zipf", "stride", "log", "mix"})
+        out.push_back(std::string("synthetic:") + p);
+    for (const auto &n : msrWorkloadNames())
+        out.push_back("msr:" + n);
+    for (const auto &n : appWorkloadNames())
+        out.push_back("app:" + n);
+    out.push_back("trace:<path to MSR-Cambridge CSV>");
+    out.push_back("fiu:<path to FIU/SPC text trace>");
+    return out;
+}
+
+bool
+parseArgs(int argc, const char *const *argv, SimOptions &opts,
+          std::string &err)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; i++)
+        args.emplace_back(argv[i]);
+
+    // Normalize "--flag=value" to "--flag" "value".
+    std::vector<std::string> norm;
+    for (const auto &a : args) {
+        const auto eq = a.find('=');
+        if (a.rfind("--", 0) == 0 && eq != std::string::npos) {
+            norm.push_back(a.substr(0, eq));
+            norm.push_back(a.substr(eq + 1));
+        } else {
+            norm.push_back(a);
+        }
+    }
+
+    auto need_value = [&](size_t &i, std::string &value) {
+        if (i + 1 >= norm.size()) {
+            err = norm[i] + " requires a value";
+            return false;
+        }
+        value = norm[++i];
+        return true;
+    };
+
+    for (size_t i = 0; i < norm.size(); i++) {
+        const std::string &arg = norm[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else if (arg == "--list") {
+            opts.list = true;
+        } else if (arg == "--ftl") {
+            if (!need_value(i, value))
+                return false;
+            opts.ftls.clear();
+            for (const auto &name : splitList(value)) {
+                FtlKind kind;
+                if (!parseFtlName(name, kind)) {
+                    err = "unknown FTL '" + name +
+                          "' (expected leaftl, dftl, or sftl)";
+                    return false;
+                }
+                opts.ftls.push_back(kind);
+            }
+            if (opts.ftls.empty()) {
+                err = "--ftl list is empty";
+                return false;
+            }
+        } else if (arg == "--workload") {
+            if (!need_value(i, value))
+                return false;
+            opts.workloads = splitList(value);
+            if (opts.workloads.empty()) {
+                err = "--workload list is empty";
+                return false;
+            }
+        } else if (arg == "--gamma") {
+            if (!need_value(i, value))
+                return false;
+            opts.gammas.clear();
+            for (const auto &g : splitList(value)) {
+                uint64_t v;
+                if (!parseU64(g, v) || v > 4096) {
+                    err = "bad gamma '" + g + "'";
+                    return false;
+                }
+                opts.gammas.push_back(static_cast<uint32_t>(v));
+            }
+            if (opts.gammas.empty()) {
+                err = "--gamma list is empty";
+                return false;
+            }
+        } else if (arg == "--requests") {
+            if (!need_value(i, value) || !parseU64(value, opts.requests) ||
+                opts.requests == 0) {
+                err = err.empty() ? "bad --requests '" + value + "'" : err;
+                return false;
+            }
+        } else if (arg == "--ws") {
+            if (!need_value(i, value) ||
+                !parseU64(value, opts.working_set_pages) ||
+                opts.working_set_pages == 0) {
+                err = err.empty() ? "bad --ws '" + value + "'" : err;
+                return false;
+            }
+        } else if (arg == "--dram-mb") {
+            uint64_t mb;
+            if (!need_value(i, value) || !parseU64(value, mb)) {
+                err = err.empty() ? "bad --dram-mb '" + value + "'" : err;
+                return false;
+            }
+            opts.dram_bytes = mb << 20;
+        } else if (arg == "--prefill") {
+            if (!need_value(i, value) ||
+                !parseDouble(value, opts.prefill_frac) ||
+                opts.prefill_frac < 0.0 || opts.prefill_frac > 1.0) {
+                err = err.empty() ? "bad --prefill '" + value + "'" : err;
+                return false;
+            }
+        } else if (arg == "--read-ratio") {
+            if (!need_value(i, value) ||
+                !parseDouble(value, opts.read_ratio) ||
+                opts.read_ratio < 0.0 || opts.read_ratio > 1.0) {
+                err = err.empty() ? "bad --read-ratio '" + value + "'" : err;
+                return false;
+            }
+        } else if (arg == "--seed") {
+            if (!need_value(i, value) || !parseU64(value, opts.seed)) {
+                err = err.empty() ? "bad --seed '" + value + "'" : err;
+                return false;
+            }
+        } else if (arg == "--output") {
+            if (!need_value(i, value))
+                return false;
+            opts.output = value;
+        } else {
+            err = "unknown argument '" + arg + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::unique_ptr<WorkloadSource>
+makeWorkload(const std::string &spec, const SimOptions &opts,
+             std::string &err)
+{
+    const auto colon = spec.find(':');
+    const std::string scheme =
+        colon == std::string::npos ? "" : spec.substr(0, colon);
+    const std::string rest =
+        colon == std::string::npos ? spec : spec.substr(colon + 1);
+
+    if (scheme == "synthetic") {
+        bool known = false;
+        MixSpec mix = syntheticSpec(rest, opts, known);
+        if (!known) {
+            err = "unknown synthetic pattern '" + rest + "'";
+            return nullptr;
+        }
+        return std::make_unique<MixWorkload>(mix);
+    }
+    if (scheme == "msr" ||
+        (scheme.empty() && isNamedModel(msrWorkloadNames(), rest))) {
+        if (!isNamedModel(msrWorkloadNames(), rest)) {
+            err = "unknown MSR/FIU model '" + rest + "'";
+            return nullptr;
+        }
+        MixSpec mix = msrSpec(rest, opts.working_set_pages, opts.requests);
+        mix.seed = opts.seed;
+        if (opts.read_ratio >= 0.0)
+            mix.read_ratio = opts.read_ratio;
+        return std::make_unique<MixWorkload>(mix);
+    }
+    if (scheme == "app" ||
+        (scheme.empty() && isNamedModel(appWorkloadNames(), rest))) {
+        if (!isNamedModel(appWorkloadNames(), rest)) {
+            err = "unknown app model '" + rest + "'";
+            return nullptr;
+        }
+        MixSpec mix = appSpec(rest, opts.working_set_pages, opts.requests);
+        mix.seed = opts.seed;
+        if (opts.read_ratio >= 0.0)
+            mix.read_ratio = opts.read_ratio;
+        return std::make_unique<MixWorkload>(mix);
+    }
+    if (scheme == "trace" || scheme == "fiu") {
+        if (opts.read_ratio >= 0.0)
+            std::cerr << "leaftl_sim: note: --read-ratio has no effect on "
+                         "replayed traces\n";
+        const uint32_t page_size = 4096;
+        std::ifstream probe(rest);
+        if (!probe.good()) {
+            err = "cannot open trace file '" + rest + "'";
+            return nullptr;
+        }
+        probe.close();
+        auto reqs = scheme == "trace"
+                        ? loadMsrTrace(rest, page_size,
+                                       opts.working_set_pages)
+                        : loadFiuTrace(rest, page_size,
+                                       opts.working_set_pages);
+        if (reqs.empty()) {
+            err = "trace '" + rest + "' parsed to zero requests";
+            return nullptr;
+        }
+        return std::make_unique<TraceWorkload>(spec, std::move(reqs));
+    }
+    err = "unknown workload spec '" + spec + "' (see --list)";
+    return nullptr;
+}
+
+SsdConfig
+makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts)
+{
+    SsdConfig cfg;
+    cfg.geometry.num_channels = 16;
+    cfg.geometry.pages_per_block = 256;
+    cfg.geometry.page_size = 4096;
+    cfg.geometry.oob_size = 128;
+
+    // Size the device so host pages ~= ws * 4/3: the workload occupies
+    // ~75% of the host space and its own churn keeps GC busy.
+    const uint64_t host_pages = opts.working_set_pages * 4 / 3;
+    const uint64_t raw_pages =
+        static_cast<uint64_t>(host_pages / (1.0 - 0.20)) + 1;
+    const uint64_t blocks = ceilDiv(raw_pages, cfg.geometry.pages_per_block);
+    cfg.geometry.blocks_per_channel = static_cast<uint32_t>(
+        std::max<uint64_t>(8, ceilDiv(blocks, cfg.geometry.num_channels)));
+
+    cfg.ftl = ftl;
+    cfg.gamma = gamma;
+    cfg.dram_bytes =
+        opts.dram_bytes > 0
+            ? opts.dram_bytes
+            : std::max<uint64_t>(128ull << 10, opts.working_set_pages *
+                                                   kMapEntryBytes / 2);
+    cfg.write_buffer_bytes = 8ull << 20;
+    cfg.compaction_interval =
+        std::max<uint64_t>(opts.working_set_pages / 8, 2048);
+    return cfg;
+}
+
+std::string
+csvHeader()
+{
+    return "ftl,workload,gamma,requests,pages,sim_seconds,"
+           "throughput_mbps,avg_lat_us,avg_read_lat_us,p50_read_lat_us,"
+           "p99_read_lat_us,avg_write_lat_us,mapping_bytes,resident_bytes,"
+           "waf,mispredict_ratio,cache_hit_ratio,avg_lookup_levels";
+}
+
+std::string
+csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
+       const SsdConfig &cfg)
+{
+    const double sim_s =
+        static_cast<double>(res.sim_time_ns) / static_cast<double>(kSecond);
+    const double bytes = static_cast<double>(res.pages_touched) *
+                         cfg.geometry.page_size;
+    const double mbps = sim_s > 0.0 ? bytes / sim_s / (1 << 20) : 0.0;
+
+    std::ostringstream row;
+    row << ftlKindName(ftl) << ',' << res.workload << ',' << gamma << ','
+        << res.requests << ',' << res.pages_touched << ',' << fmt(sim_s)
+        << ',' << fmt(mbps) << ',' << fmt(res.avg_latency_us) << ','
+        << fmt(res.avg_read_latency_us) << ','
+        << fmt(res.ssd.read_latency.percentile(50.0) / 1000.0) << ','
+        << fmt(res.p99_read_latency_us) << ','
+        << fmt(res.avg_write_latency_us) << ',' << res.mapping_bytes << ','
+        << res.resident_bytes << ',' << fmt(res.waf) << ','
+        << fmt(res.mispredict_ratio) << ',' << fmt(res.cache_hit_ratio)
+        << ',' << fmt(res.avg_lookup_levels);
+    return row.str();
+}
+
+int
+runSweep(const SimOptions &opts, std::ostream &out)
+{
+    // Build each workload source once per spec (trace files can be
+    // large) and reset() it between runs -- every source replays the
+    // same sequence after a reset. Resolve all specs before emitting
+    // the header so a bad spec leaves the output empty.
+    std::map<std::string, std::unique_ptr<WorkloadSource>> sources;
+    for (const std::string &spec : opts.workloads) {
+        std::string err;
+        auto wl = makeWorkload(spec, opts, err);
+        if (!wl) {
+            std::cerr << "leaftl_sim: " << err << '\n';
+            return 1;
+        }
+        sources.emplace(spec, std::move(wl));
+    }
+
+    out << csvHeader() << '\n';
+
+    // Gamma only changes LeaFTL; for DFTL/SFTL run each workload once
+    // and reuse the result for every requested gamma so the output
+    // still has one row per (ftl, workload, gamma) combination.
+    std::map<std::pair<int, std::string>, RunResult> cache;
+
+    for (const FtlKind ftl : opts.ftls) {
+        for (const std::string &spec : opts.workloads) {
+            for (const uint32_t gamma : opts.gammas) {
+                const bool gamma_sensitive = ftl == FtlKind::LeaFTL;
+                const auto key =
+                    std::make_pair(static_cast<int>(ftl), spec);
+                const SsdConfig cfg = makeConfig(ftl, gamma, opts);
+
+                RunResult res;
+                const auto cached = cache.find(key);
+                if (!gamma_sensitive && cached != cache.end()) {
+                    res = cached->second;
+                } else {
+                    std::cerr << "leaftl_sim: running " << ftlKindName(ftl)
+                              << " / " << spec << " / gamma=" << gamma
+                              << " ...\n";
+                    WorkloadSource &wl = *sources.at(spec);
+                    wl.reset();
+                    Ssd ssd(cfg);
+                    RunOptions ropts;
+                    ropts.prefill_pages = static_cast<uint64_t>(
+                        opts.prefill_frac * opts.working_set_pages);
+                    ropts.mixed_prefill = true;
+                    res = Runner::replay(ssd, wl, ropts);
+                    if (!gamma_sensitive)
+                        cache.emplace(key, res);
+                }
+                out << csvRow(res, ftl, gamma, cfg) << '\n';
+                out.flush();
+            }
+        }
+    }
+    return 0;
+}
+
+int
+simMain(int argc, const char *const *argv)
+{
+    SimOptions opts;
+    std::string err;
+    if (!parseArgs(argc, argv, opts, err)) {
+        std::cerr << "leaftl_sim: " << err << '\n' << usage();
+        return 2;
+    }
+    if (opts.help) {
+        std::cout << usage();
+        return 0;
+    }
+    if (opts.list) {
+        for (const auto &w : knownWorkloads())
+            std::cout << w << '\n';
+        return 0;
+    }
+
+    if (!opts.output.empty()) {
+        std::ofstream file(opts.output);
+        if (!file.good()) {
+            std::cerr << "leaftl_sim: cannot open output file '"
+                      << opts.output << "'\n";
+            return 1;
+        }
+        return runSweep(opts, file);
+    }
+    return runSweep(opts, std::cout);
+}
+
+} // namespace cli
+} // namespace leaftl

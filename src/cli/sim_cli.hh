@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The `leaftl_sim` comparison driver: one reproducible entry point
+ * that composes Runner, Ssd, the three FTLs, and any workload source,
+ * sweeps gamma, and emits one CSV row per (ftl, workload, gamma)
+ * combination. The paper's figures (and future scaling experiments)
+ * are sweeps over exactly this cross product.
+ *
+ * Kept as a library (main() lives in main.cc) so tests can drive the
+ * parser and the sweep without spawning a process.
+ */
+
+#ifndef LEAFTL_CLI_SIM_CLI_HH
+#define LEAFTL_CLI_SIM_CLI_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "ssd/config.hh"
+#include "workload/request.hh"
+
+namespace leaftl
+{
+namespace cli
+{
+
+/** Parsed command line of leaftl_sim. */
+struct SimOptions
+{
+    /** FTLs to compare (default: LeaFTL only). */
+    std::vector<FtlKind> ftls = {FtlKind::LeaFTL};
+
+    /**
+     * Workload specs. Grammar:
+     *   synthetic:{seq,rand,zipf,stride,log,mix}
+     *   msr:<name>   (or a bare MSR/FIU model name)
+     *   app:<name>
+     *   trace:<path> (MSR-Cambridge CSV)
+     *   fiu:<path>   (FIU/SPC text trace)
+     */
+    std::vector<std::string> workloads = {"synthetic:zipf"};
+
+    /** Gamma sweep (LeaFTL error bound; other FTLs ignore it). */
+    std::vector<uint32_t> gammas = {0};
+
+    uint64_t requests = 100'000;
+    uint64_t working_set_pages = 64 * 1024;
+    /** 0 = derive from the working set (mapping-pressure regime). */
+    uint64_t dram_bytes = 0;
+    /** Fraction of the working set prefilled (mixed pattern) pre-run. */
+    double prefill_frac = 0.85;
+    /** Override the workload's read ratio; <0 keeps its default. */
+    double read_ratio = -1.0;
+    uint64_t seed = 42;
+
+    /** Output CSV path; empty = stdout. */
+    std::string output;
+
+    bool list = false; ///< --list: print known workloads and exit.
+    bool help = false; ///< --help/-h.
+};
+
+/**
+ * Parse argv into @a opts.
+ * @return true on success; on failure @a err describes the problem.
+ */
+bool parseArgs(int argc, const char *const *argv, SimOptions &opts,
+               std::string &err);
+
+/** Usage text (multi-line, ends with a newline). */
+std::string usage();
+
+/** Known workload specs (for --list and error messages). */
+std::vector<std::string> knownWorkloads();
+
+/**
+ * Build the workload source named by @a spec.
+ * @return nullptr (with @a err set) for an unknown spec or an
+ *         unreadable trace file.
+ */
+std::unique_ptr<WorkloadSource> makeWorkload(const std::string &spec,
+                                             const SimOptions &opts,
+                                             std::string &err);
+
+/** Device config for one run of the sweep (scaled paper Table 1). */
+SsdConfig makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts);
+
+/** CSV column header row (no trailing newline). */
+std::string csvHeader();
+
+/** One CSV data row for a finished run (no trailing newline). */
+std::string csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
+                   const SsdConfig &cfg);
+
+/**
+ * Run the whole sweep, streaming CSV to @a out.
+ * @return process exit code (0 = every combination ran).
+ */
+int runSweep(const SimOptions &opts, std::ostream &out);
+
+/** Full CLI: parse, dispatch --help/--list, sweep. */
+int simMain(int argc, const char *const *argv);
+
+} // namespace cli
+} // namespace leaftl
+
+#endif // LEAFTL_CLI_SIM_CLI_HH

@@ -26,6 +26,9 @@ struct RunResult
     uint64_t requests = 0;
     uint64_t pages_touched = 0;
 
+    /** Simulated time at the end of the replay (after the drain). */
+    Tick sim_time_ns = 0;
+
     double avg_read_latency_us = 0.0;
     double p99_read_latency_us = 0.0;
     double avg_write_latency_us = 0.0;

@@ -82,6 +82,7 @@ Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
     }
     if (opts.drain_at_end)
         ssd.drainBuffer(now);
+    res.sim_time_ns = now;
 
     const SsdStats &st = ssd.stats();
     res.ssd = st;

@@ -250,8 +250,9 @@ TEST_P(TableRandomSweep, DifferentialAcrossGroups)
     // Unwritten LPAs must not resolve.
     for (int probe = 0; probe < 200; probe++) {
         const Lpa lpa = static_cast<Lpa>(rng.nextBounded(10000));
-        if (!truth.count(lpa))
+        if (!truth.count(lpa)) {
             EXPECT_FALSE(t.lookup(lpa).has_value()) << lpa;
+        }
     }
 }
 

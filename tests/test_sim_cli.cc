@@ -1,0 +1,169 @@
+/**
+ * @file
+ * In-process tests of the leaftl_sim CLI layer: argument parsing,
+ * workload spec resolution, and a tiny end-to-end sweep asserting one
+ * CSV row per (ftl, workload, gamma) combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/sim_cli.hh"
+
+namespace leaftl
+{
+namespace cli
+{
+namespace
+{
+
+SimOptions
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"leaftl_sim"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    SimOptions opts;
+    std::string err;
+    const bool ok =
+        parseArgs(static_cast<int>(argv.size()), argv.data(), opts, err);
+    EXPECT_TRUE(ok) << err;
+    return opts;
+}
+
+TEST(SimCliParse, Defaults)
+{
+    const SimOptions opts = parse({});
+    ASSERT_EQ(opts.ftls.size(), 1u);
+    EXPECT_EQ(static_cast<int>(opts.ftls[0]),
+              static_cast<int>(FtlKind::LeaFTL));
+    ASSERT_EQ(opts.workloads.size(), 1u);
+    EXPECT_EQ(opts.workloads[0], "synthetic:zipf");
+    ASSERT_EQ(opts.gammas.size(), 1u);
+    EXPECT_EQ(opts.gammas[0], 0u);
+    EXPECT_FALSE(opts.help);
+    EXPECT_FALSE(opts.list);
+}
+
+TEST(SimCliParse, ListsAndEqualsSyntax)
+{
+    const SimOptions opts =
+        parse({"--ftl=leaftl,dftl,sftl", "--gamma", "0,1,4,16",
+               "--workload", "synthetic:seq,msr:MSR-src2", "--requests=500",
+               "--ws", "4096", "--prefill=0.5", "--seed=7"});
+    EXPECT_EQ(opts.ftls.size(), 3u);
+    EXPECT_EQ(opts.gammas, (std::vector<uint32_t>{0, 1, 4, 16}));
+    EXPECT_EQ(opts.workloads,
+              (std::vector<std::string>{"synthetic:seq", "msr:MSR-src2"}));
+    EXPECT_EQ(opts.requests, 500u);
+    EXPECT_EQ(opts.working_set_pages, 4096u);
+    EXPECT_DOUBLE_EQ(opts.prefill_frac, 0.5);
+    EXPECT_EQ(opts.seed, 7u);
+}
+
+TEST(SimCliParse, RejectsBadInput)
+{
+    SimOptions opts;
+    std::string err;
+    {
+        const char *argv[] = {"leaftl_sim", "--ftl", "nftl"};
+        EXPECT_FALSE(parseArgs(3, argv, opts, err));
+        EXPECT_NE(err.find("nftl"), std::string::npos);
+    }
+    {
+        const char *argv[] = {"leaftl_sim", "--gamma", "abc"};
+        EXPECT_FALSE(parseArgs(3, argv, opts, err));
+    }
+    {
+        const char *argv[] = {"leaftl_sim", "--bogus"};
+        EXPECT_FALSE(parseArgs(2, argv, opts, err));
+    }
+    {
+        const char *argv[] = {"leaftl_sim", "--requests"};
+        EXPECT_FALSE(parseArgs(2, argv, opts, err));
+    }
+}
+
+TEST(SimCliWorkloads, ResolvesEveryKnownFamily)
+{
+    SimOptions opts;
+    opts.requests = 100;
+    opts.working_set_pages = 2048;
+    std::string err;
+
+    for (const char *spec :
+         {"synthetic:seq", "synthetic:rand", "synthetic:zipf",
+          "synthetic:stride", "synthetic:log", "synthetic:mix",
+          "msr:MSR-src2", "app:TPCC", "MSR-prxy", "SEATS"}) {
+        auto wl = makeWorkload(spec, opts, err);
+        ASSERT_NE(wl, nullptr) << spec << ": " << err;
+        IoRequest req;
+        EXPECT_TRUE(wl->next(req)) << spec;
+    }
+
+    EXPECT_EQ(makeWorkload("synthetic:nope", opts, err), nullptr);
+    EXPECT_EQ(makeWorkload("trace:/no/such/file.csv", opts, err), nullptr);
+    EXPECT_EQ(makeWorkload("gibberish", opts, err), nullptr);
+}
+
+TEST(SimCliSweep, OneCsvRowPerCombination)
+{
+    SimOptions opts;
+    opts.ftls = {FtlKind::LeaFTL, FtlKind::DFTL};
+    opts.workloads = {"synthetic:seq"};
+    opts.gammas = {0, 4};
+    opts.requests = 300;
+    opts.working_set_pages = 2048;
+    opts.prefill_frac = 0.25;
+
+    std::ostringstream out;
+    ASSERT_EQ(runSweep(opts, out), 0);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line, csvHeader());
+    EXPECT_EQ(line.substr(0, 20), "ftl,workload,gamma,r");
+
+    size_t rows = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_NE(line.find("synthetic:seq"), std::string::npos);
+        rows++;
+    }
+    // 2 ftls x 1 workload x 2 gammas.
+    EXPECT_EQ(rows, 4u);
+}
+
+TEST(SimCliSweep, GammaShrinksLeaFtlMapping)
+{
+    SimOptions opts;
+    opts.ftls = {FtlKind::LeaFTL};
+    opts.workloads = {"synthetic:rand"};
+    opts.gammas = {0, 16};
+    opts.requests = 2000;
+    opts.working_set_pages = 4096;
+    opts.prefill_frac = 0.5;
+
+    std::ostringstream out;
+    ASSERT_EQ(runSweep(opts, out), 0);
+
+    // Parse mapping_bytes (column 13, 0-based 12) of both data rows.
+    std::istringstream lines(out.str());
+    std::string line;
+    std::getline(lines, line); // header
+    std::vector<uint64_t> mapping;
+    while (std::getline(lines, line)) {
+        std::istringstream cells(line);
+        std::string cell;
+        for (int c = 0; c <= 12; c++)
+            std::getline(cells, cell, ',');
+        mapping.push_back(std::stoull(cell));
+    }
+    ASSERT_EQ(mapping.size(), 2u);
+    EXPECT_LT(mapping[1], mapping[0])
+        << "gamma=16 should compress the learned table vs gamma=0";
+}
+
+} // namespace
+} // namespace cli
+} // namespace leaftl

@@ -133,8 +133,9 @@ TEST(Trim, LeaFtlTombstoneSurvivesMerges)
     ssd.drainBuffer(now);
     EXPECT_FALSE(ssd.oraclePpa(100).has_value());
     for (Lpa l = 98; l < 103; l++) {
-        if (l != 100)
+        if (l != 100) {
             ASSERT_TRUE(ssd.oraclePpa(l).has_value()) << l;
+        }
     }
 }
 

@@ -117,8 +117,15 @@ TEST(MixWorkload, LogAppendsAreSequentialWrites)
     while (wl.next(req)) {
         EXPECT_EQ(static_cast<int>(req.op), static_cast<int>(Op::Write));
         EXPECT_GE(req.lpa, log_start);
-        if (!first && req.lpa > prev)
-            EXPECT_GE(req.lpa, prev); // Monotone until wrap.
+        if (!first) {
+            // Appends are one page: monotone +1 until the head wraps
+            // back to the base of the log region.
+            if (req.lpa > prev) {
+                EXPECT_EQ(req.lpa, prev + 1);
+            } else {
+                EXPECT_EQ(req.lpa, log_start);
+            }
+        }
         prev = req.lpa;
         first = false;
     }
