@@ -41,6 +41,8 @@ struct BenchScale
      */
     uint64_t dram_bytes = 0;
     uint32_t gamma = 0;
+    /** Outstanding host requests during replay (1 = closed loop). */
+    uint32_t queue_depth = 1;
     bool fast = false;
 
     uint64_t
@@ -53,7 +55,7 @@ struct BenchScale
     }
 };
 
-/** Parse --requests= --ws= --dram-mb= --gamma= --fast and one free arg. */
+/** Parse --requests= --ws= --dram-mb= --gamma= --qd= --fast + free arg. */
 inline BenchScale
 parseScale(int argc, char **argv, std::string *free_arg = nullptr)
 {
@@ -68,6 +70,9 @@ parseScale(int argc, char **argv, std::string *free_arg = nullptr)
             s.dram_bytes = std::stoull(arg.substr(10)) << 20;
         } else if (arg.rfind("--gamma=", 0) == 0) {
             s.gamma = static_cast<uint32_t>(std::stoul(arg.substr(8)));
+        } else if (arg.rfind("--qd=", 0) == 0) {
+            s.queue_depth = std::max(
+                1u, static_cast<uint32_t>(std::stoul(arg.substr(5))));
         } else if (arg == "--fast") {
             s.fast = true;
             s.requests /= 10;
@@ -144,6 +149,7 @@ replayNamed(Ssd &ssd, const std::string &workload, const BenchScale &s)
     RunOptions opts;
     opts.prefill_pages = s.working_set_pages;
     opts.mixed_prefill = true;
+    opts.queue_depth = s.queue_depth;
     return Runner::replay(ssd, *wl, opts);
 }
 

@@ -1,12 +1,17 @@
 #include "cli/sim_cli.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <tuple>
 
 #include "sim/runner.hh"
 #include "ssd/ssd.hh"
@@ -125,6 +130,9 @@ syntheticSpec(const std::string &pattern, const SimOptions &opts,
     }
     if (opts.read_ratio >= 0.0)
         spec.read_ratio = opts.read_ratio;
+    if (opts.interarrival_us >= 0.0)
+        spec.interarrival =
+            static_cast<Tick>(opts.interarrival_us * kMicrosecond);
     return spec;
 }
 
@@ -159,6 +167,10 @@ usage()
         << "                   msr:<name>, app:<name>, trace:<csv path>,\n"
         << "                   fiu:<trace path>; see --list\n"
         << "  --gamma LIST     comma list of error bounds (default 0)\n"
+        << "  --qd LIST        comma list of queue depths (outstanding\n"
+        << "                   host requests per run, default 1)\n"
+        << "  --jobs N         sweep worker threads (default: hardware\n"
+        << "                   concurrency; rows stay in sweep order)\n"
         << "  --requests N     requests per run (default 100000)\n"
         << "  --ws PAGES       working-set pages (default 65536)\n"
         << "  --dram-mb MB     DRAM budget; 0 derives from the working "
@@ -166,6 +178,8 @@ usage()
         << "  --prefill FRAC   prefilled fraction of the working set "
            "(default 0.85)\n"
         << "  --read-ratio R   override the workload read ratio\n"
+        << "  --interarrival U override the mean request inter-arrival\n"
+        << "                   gap in us (synthetic/model workloads)\n"
         << "  --seed N         workload RNG seed (default 42)\n"
         << "  --output PATH    write CSV to PATH instead of stdout\n"
         << "  --list           print known workloads and exit\n"
@@ -265,6 +279,30 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
                 err = "--gamma list is empty";
                 return false;
             }
+        } else if (arg == "--qd") {
+            if (!need_value(i, value))
+                return false;
+            opts.queue_depths.clear();
+            for (const auto &q : splitList(value)) {
+                uint64_t v;
+                if (!parseU64(q, v) || v == 0 || v > 65536) {
+                    err = "bad queue depth '" + q + "'";
+                    return false;
+                }
+                opts.queue_depths.push_back(static_cast<uint32_t>(v));
+            }
+            if (opts.queue_depths.empty()) {
+                err = "--qd list is empty";
+                return false;
+            }
+        } else if (arg == "--jobs") {
+            uint64_t v;
+            if (!need_value(i, value) || !parseU64(value, v) || v == 0 ||
+                v > 1024) {
+                err = err.empty() ? "bad --jobs '" + value + "'" : err;
+                return false;
+            }
+            opts.jobs = static_cast<unsigned>(v);
         } else if (arg == "--requests") {
             if (!need_value(i, value) || !parseU64(value, opts.requests) ||
                 opts.requests == 0) {
@@ -299,6 +337,14 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
                 err = err.empty() ? "bad --read-ratio '" + value + "'" : err;
                 return false;
             }
+        } else if (arg == "--interarrival") {
+            if (!need_value(i, value) ||
+                !parseDouble(value, opts.interarrival_us) ||
+                opts.interarrival_us < 0.0) {
+                err = err.empty() ? "bad --interarrival '" + value + "'"
+                                  : err;
+                return false;
+            }
         } else if (arg == "--seed") {
             if (!need_value(i, value) || !parseU64(value, opts.seed)) {
                 err = err.empty() ? "bad --seed '" + value + "'" : err;
@@ -318,7 +364,7 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
 
 std::unique_ptr<WorkloadSource>
 makeWorkload(const std::string &spec, const SimOptions &opts,
-             std::string &err)
+             std::string &err, TraceCache *trace_cache)
 {
     const auto colon = spec.find(':');
     const std::string scheme =
@@ -345,6 +391,9 @@ makeWorkload(const std::string &spec, const SimOptions &opts,
         mix.seed = opts.seed;
         if (opts.read_ratio >= 0.0)
             mix.read_ratio = opts.read_ratio;
+        if (opts.interarrival_us >= 0.0)
+            mix.interarrival =
+                static_cast<Tick>(opts.interarrival_us * kMicrosecond);
         return std::make_unique<MixWorkload>(mix);
     }
     if (scheme == "app" ||
@@ -357,9 +406,19 @@ makeWorkload(const std::string &spec, const SimOptions &opts,
         mix.seed = opts.seed;
         if (opts.read_ratio >= 0.0)
             mix.read_ratio = opts.read_ratio;
+        if (opts.interarrival_us >= 0.0)
+            mix.interarrival =
+                static_cast<Tick>(opts.interarrival_us * kMicrosecond);
         return std::make_unique<MixWorkload>(mix);
     }
     if (scheme == "trace" || scheme == "fiu") {
+        if (trace_cache) {
+            const auto hit = trace_cache->find(spec);
+            if (hit != trace_cache->end())
+                return std::make_unique<TraceWorkload>(spec, hit->second);
+        }
+        // Note only on an actual parse: a sweep parses each trace once
+        // (serially); cache hits from worker threads stay silent.
         if (opts.read_ratio >= 0.0)
             std::cerr << "leaftl_sim: note: --read-ratio has no effect on "
                          "replayed traces\n";
@@ -379,7 +438,11 @@ makeWorkload(const std::string &spec, const SimOptions &opts,
             err = "trace '" + rest + "' parsed to zero requests";
             return nullptr;
         }
-        return std::make_unique<TraceWorkload>(spec, std::move(reqs));
+        auto shared = std::make_shared<const std::vector<IoRequest>>(
+            std::move(reqs));
+        if (trace_cache)
+            trace_cache->emplace(spec, shared);
+        return std::make_unique<TraceWorkload>(spec, std::move(shared));
     }
     err = "unknown workload spec '" + spec + "' (see --list)";
     return nullptr;
@@ -419,10 +482,11 @@ makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts)
 std::string
 csvHeader()
 {
-    return "ftl,workload,gamma,requests,pages,sim_seconds,"
+    return "ftl,workload,gamma,qd,requests,pages,sim_seconds,"
            "throughput_mbps,avg_lat_us,avg_read_lat_us,p50_read_lat_us,"
            "p99_read_lat_us,avg_write_lat_us,mapping_bytes,resident_bytes,"
-           "waf,mispredict_ratio,cache_hit_ratio,avg_lookup_levels";
+           "waf,mispredict_ratio,cache_hit_ratio,avg_lookup_levels,"
+           "avg_queue_wait_us,mean_inflight";
 }
 
 std::string
@@ -437,76 +501,160 @@ csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
 
     std::ostringstream row;
     row << ftlKindName(ftl) << ',' << res.workload << ',' << gamma << ','
-        << res.requests << ',' << res.pages_touched << ',' << fmt(sim_s)
-        << ',' << fmt(mbps) << ',' << fmt(res.avg_latency_us) << ','
+        << res.queue_depth << ',' << res.requests << ','
+        << res.pages_touched << ',' << fmt(sim_s) << ',' << fmt(mbps)
+        << ',' << fmt(res.avg_latency_us) << ','
         << fmt(res.avg_read_latency_us) << ','
         << fmt(res.ssd.read_latency.percentile(50.0) / 1000.0) << ','
         << fmt(res.p99_read_latency_us) << ','
         << fmt(res.avg_write_latency_us) << ',' << res.mapping_bytes << ','
         << res.resident_bytes << ',' << fmt(res.waf) << ','
         << fmt(res.mispredict_ratio) << ',' << fmt(res.cache_hit_ratio)
-        << ',' << fmt(res.avg_lookup_levels);
+        << ',' << fmt(res.avg_lookup_levels) << ','
+        << fmt(res.avg_queue_wait_us) << ',' << fmt(res.mean_inflight);
     return row.str();
 }
 
 int
 runSweep(const SimOptions &opts, std::ostream &out)
 {
-    // Build each workload source once per spec (trace files can be
-    // large) and reset() it between runs -- every source replays the
-    // same sequence after a reset. Resolve all specs before emitting
-    // the header so a bad spec leaves the output empty.
-    std::map<std::string, std::unique_ptr<WorkloadSource>> sources;
+    // Resolve all specs before running anything so a bad spec leaves
+    // the output empty. Every run then builds its own source from
+    // (spec, seed), which reproduces the exact same request sequence
+    // -- that is what keeps parallel runs independent and the sweep
+    // deterministic for any --jobs value. Trace files are parsed once
+    // here; the runs share the immutable request vectors through the
+    // cache (read-only after this loop, so no locking).
+    TraceCache trace_cache;
     for (const std::string &spec : opts.workloads) {
         std::string err;
-        auto wl = makeWorkload(spec, opts, err);
+        auto wl = makeWorkload(spec, opts, err, &trace_cache);
         if (!wl) {
             std::cerr << "leaftl_sim: " << err << '\n';
             return 1;
         }
-        sources.emplace(spec, std::move(wl));
     }
 
-    out << csvHeader() << '\n';
-
-    // Gamma only changes LeaFTL; for DFTL/SFTL run each workload once
-    // and reuse the result for every requested gamma so the output
-    // still has one row per (ftl, workload, gamma) combination.
-    std::map<std::pair<int, std::string>, RunResult> cache;
-
+    // Enumerate output rows in sweep order, deduplicating the actual
+    // simulations: gamma only changes LeaFTL, so for DFTL/SFTL each
+    // (ftl, workload, qd) runs once and every requested gamma reuses
+    // the result -- the output still has one row per combination.
+    struct Task
+    {
+        FtlKind ftl;
+        std::string spec;
+        uint32_t gamma;
+        uint32_t qd;
+    };
+    struct Row
+    {
+        FtlKind ftl;
+        std::string spec;
+        uint32_t gamma;
+        size_t task;
+    };
+    constexpr uint32_t kAnyGamma = 0xFFFFFFFFu;
+    std::vector<Task> tasks;
+    std::vector<Row> rows;
+    std::map<std::tuple<int, std::string, uint32_t, uint32_t>, size_t> seen;
     for (const FtlKind ftl : opts.ftls) {
         for (const std::string &spec : opts.workloads) {
             for (const uint32_t gamma : opts.gammas) {
-                const bool gamma_sensitive = ftl == FtlKind::LeaFTL;
-                const auto key =
-                    std::make_pair(static_cast<int>(ftl), spec);
-                const SsdConfig cfg = makeConfig(ftl, gamma, opts);
+                for (const uint32_t qd : opts.queue_depths) {
+                    const bool gamma_sensitive = ftl == FtlKind::LeaFTL;
+                    const auto key = std::make_tuple(
+                        static_cast<int>(ftl), spec,
+                        gamma_sensitive ? gamma : kAnyGamma, qd);
+                    const auto [it, inserted] =
+                        seen.emplace(key, tasks.size());
+                    if (inserted)
+                        tasks.push_back({ftl, spec, gamma, qd});
+                    rows.push_back({ftl, spec, gamma, it->second});
+                }
+            }
+        }
+    }
 
-                RunResult res;
-                const auto cached = cache.find(key);
-                if (!gamma_sensitive && cached != cache.end()) {
-                    res = cached->second;
-                } else {
-                    std::cerr << "leaftl_sim: running " << ftlKindName(ftl)
-                              << " / " << spec << " / gamma=" << gamma
+    // Fan the independent runs out over a small thread pool while the
+    // calling thread streams finished rows in sweep order: each row is
+    // written (and flushed) as soon as its task -- and every task an
+    // earlier row needs -- has completed, so an interrupted sweep
+    // still leaves a usable prefix and a failing task aborts the rest.
+    std::vector<RunResult> results(tasks.size());
+    std::vector<std::string> errors(tasks.size());
+    std::vector<uint8_t> task_done(tasks.size(), 0);
+    std::atomic<size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::mutex mutex; // Guards task_done and the stderr progress log.
+    std::condition_variable done_cv;
+
+    auto worker = [&]() {
+        for (;;) {
+            const size_t i = next.fetch_add(1);
+            if (i >= tasks.size())
+                return;
+            const Task &t = tasks[i];
+            if (!abort.load()) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    std::cerr << "leaftl_sim: running "
+                              << ftlKindName(t.ftl) << " / " << t.spec
+                              << " / gamma=" << t.gamma << " / qd=" << t.qd
                               << " ...\n";
-                    WorkloadSource &wl = *sources.at(spec);
-                    wl.reset();
-                    Ssd ssd(cfg);
+                }
+                std::string err;
+                auto wl = makeWorkload(t.spec, opts, err, &trace_cache);
+                if (wl) {
+                    Ssd ssd(makeConfig(t.ftl, t.gamma, opts));
                     RunOptions ropts;
                     ropts.prefill_pages = static_cast<uint64_t>(
                         opts.prefill_frac * opts.working_set_pages);
                     ropts.mixed_prefill = true;
-                    res = Runner::replay(ssd, wl, ropts);
-                    if (!gamma_sensitive)
-                        cache.emplace(key, res);
+                    ropts.queue_depth = t.qd;
+                    results[i] = Runner::replay(ssd, *wl, ropts);
+                } else {
+                    errors[i] = err;
                 }
-                out << csvRow(res, ftl, gamma, cfg) << '\n';
-                out.flush();
             }
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                task_done[i] = 1;
+            }
+            done_cv.notify_all();
         }
+    };
+
+    unsigned jobs = opts.jobs ? opts.jobs
+                              : std::max(1u,
+                                         std::thread::hardware_concurrency());
+    jobs = static_cast<unsigned>(
+        std::min<size_t>(jobs, std::max<size_t>(1, tasks.size())));
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned i = 0; i < jobs; i++)
+        pool.emplace_back(worker);
+
+    out << csvHeader() << '\n';
+    out.flush();
+    int rc = 0;
+    for (const Row &row : rows) {
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            done_cv.wait(lock, [&] { return task_done[row.task] != 0; });
+        }
+        if (!errors[row.task].empty()) {
+            std::cerr << "leaftl_sim: " << errors[row.task] << '\n';
+            abort.store(true); // Remaining tasks turn into no-ops.
+            rc = 1;
+            break;
+        }
+        const SsdConfig cfg = makeConfig(row.ftl, row.gamma, opts);
+        out << csvRow(results[row.task], row.ftl, row.gamma, cfg) << '\n';
+        out.flush();
     }
-    return 0;
+    for (auto &th : pool)
+        th.join();
+    return rc;
 }
 
 int

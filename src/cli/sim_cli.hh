@@ -2,9 +2,12 @@
  * @file
  * The `leaftl_sim` comparison driver: one reproducible entry point
  * that composes Runner, Ssd, the three FTLs, and any workload source,
- * sweeps gamma, and emits one CSV row per (ftl, workload, gamma)
- * combination. The paper's figures (and future scaling experiments)
- * are sweeps over exactly this cross product.
+ * sweeps gamma and queue depth, and emits one CSV row per
+ * (ftl, workload, gamma, qd) combination. The paper's figures (and
+ * future scaling experiments) are sweeps over exactly this cross
+ * product. Combinations are independent, so the sweep fans out over a
+ * small thread pool (--jobs); rows are always emitted in combination
+ * order, making the CSV byte-identical for any job count.
  *
  * Kept as a library (main() lives in main.cc) so tests can drive the
  * parser and the sweep without spawning a process.
@@ -14,6 +17,7 @@
 #define LEAFTL_CLI_SIM_CLI_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -47,6 +51,12 @@ struct SimOptions
     /** Gamma sweep (LeaFTL error bound; other FTLs ignore it). */
     std::vector<uint32_t> gammas = {0};
 
+    /** Queue-depth sweep (outstanding host requests per run). */
+    std::vector<uint32_t> queue_depths = {1};
+
+    /** Worker threads for the sweep; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+
     uint64_t requests = 100'000;
     uint64_t working_set_pages = 64 * 1024;
     /** 0 = derive from the working set (mapping-pressure regime). */
@@ -55,6 +65,8 @@ struct SimOptions
     double prefill_frac = 0.85;
     /** Override the workload's read ratio; <0 keeps its default. */
     double read_ratio = -1.0;
+    /** Override the mean inter-arrival gap in us; <0 keeps defaults. */
+    double interarrival_us = -1.0;
     uint64_t seed = 42;
 
     /** Output CSV path; empty = stdout. */
@@ -78,13 +90,25 @@ std::string usage();
 std::vector<std::string> knownWorkloads();
 
 /**
+ * Parsed trace files keyed by workload spec. A sweep parses each
+ * trace once (serially, while validating specs) and every run then
+ * shares the immutable request vector, so the cache needs no locking.
+ */
+using TraceCache =
+    std::map<std::string,
+             std::shared_ptr<const std::vector<IoRequest>>>;
+
+/**
  * Build the workload source named by @a spec.
+ * @param trace_cache Optional cache for trace/fiu specs: a hit skips
+ *        the parse, a miss parses and inserts. nullptr = no caching.
  * @return nullptr (with @a err set) for an unknown spec or an
  *         unreadable trace file.
  */
 std::unique_ptr<WorkloadSource> makeWorkload(const std::string &spec,
                                              const SimOptions &opts,
-                                             std::string &err);
+                                             std::string &err,
+                                             TraceCache *trace_cache = nullptr);
 
 /** Device config for one run of the sweep (scaled paper Table 1). */
 SsdConfig makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts);
@@ -97,7 +121,9 @@ std::string csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
                    const SsdConfig &cfg);
 
 /**
- * Run the whole sweep, streaming CSV to @a out.
+ * Run the whole sweep on opts.jobs worker threads and write the CSV
+ * to @a out (header first, then one row per combination, in
+ * combination order regardless of job count).
  * @return process exit code (0 = every combination ran).
  */
 int runSweep(const SimOptions &opts, std::ostream &out);

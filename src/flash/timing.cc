@@ -13,10 +13,16 @@ ChannelTimer::ChannelTimer(uint32_t num_channels) : busy_(num_channels, 0)
 Tick
 ChannelTimer::access(uint32_t channel, Tick now, Tick duration)
 {
+    const Tick done = peekAccess(channel, now, duration);
+    busy_[channel] = done;
+    return done;
+}
+
+Tick
+ChannelTimer::peekAccess(uint32_t channel, Tick now, Tick duration) const
+{
     LEAFTL_ASSERT(channel < busy_.size(), "channel out of range");
-    const Tick start = std::max(now, busy_[channel]);
-    busy_[channel] = start + duration;
-    return busy_[channel];
+    return std::max(now, busy_[channel]) + duration;
 }
 
 void

@@ -43,12 +43,26 @@ class ChannelTimer
     Tick access(uint32_t channel, Tick now, Tick duration);
 
     /**
+     * Completion time an access would have, without scheduling it:
+     * the busy-until query behind access(). Lets callers ask "when
+     * would this finish" (admission decisions, what-if probes) without
+     * advancing any channel cursor.
+     */
+    Tick peekAccess(uint32_t channel, Tick now, Tick duration) const;
+
+    /**
      * Schedule a background operation (flush/GC): occupies the channel
      * but the caller does not wait for it.
      */
     void occupy(uint32_t channel, Tick now, Tick duration);
 
     Tick busyUntil(uint32_t channel) const;
+
+    uint32_t
+    numChannels() const
+    {
+        return static_cast<uint32_t>(busy_.size());
+    }
 
     /** Earliest time any channel is free (for back-pressure). */
     Tick earliestFree() const;

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+namespace leaftl
+{
+
+uint64_t
+EventQueue::push(Tick tick, uint64_t tag)
+{
+    Event ev;
+    ev.tick = tick;
+    ev.seq = next_seq_++;
+    ev.tag = tag;
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return ev.seq;
+}
+
+const Event &
+EventQueue::top() const
+{
+    LEAFTL_ASSERT(!heap_.empty(), "top() on an empty event queue");
+    return heap_.front();
+}
+
+Event
+EventQueue::pop()
+{
+    LEAFTL_ASSERT(!heap_.empty(), "pop() on an empty event queue");
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
+    return ev;
+}
+
+} // namespace leaftl

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tick-ordered completion-event queue for the event-driven replay
+ * engine. The runner submits up to queue_depth requests to the device
+ * and parks their completion ticks here; events pop in completion
+ * order, with ties broken by submission order (FIFO), so retirement is
+ * deterministic even when many requests complete at the same tick.
+ */
+
+#ifndef LEAFTL_SIM_EVENT_QUEUE_HH
+#define LEAFTL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** One scheduled completion. */
+struct Event
+{
+    /** Completion time. */
+    Tick tick = 0;
+    /** Submission sequence number (tie-breaker, assigned by push). */
+    uint64_t seq = 0;
+    /** Caller-defined payload (the replay engine stores request tags). */
+    uint64_t tag = 0;
+};
+
+/**
+ * Min-heap of Events ordered by (tick, seq). Sequence numbers are
+ * assigned monotonically by push() across the queue's lifetime, so
+ * equal-tick events always drain in submission order.
+ */
+class EventQueue
+{
+  public:
+    /**
+     * Schedule a completion at @a tick.
+     * @return The sequence number assigned to the event.
+     */
+    uint64_t push(Tick tick, uint64_t tag = 0);
+
+    /** Earliest event (undefined order fields are never exposed). */
+    const Event &top() const;
+
+    /** Remove and return the earliest event. */
+    Event pop();
+
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+
+    /** Drop all pending events (sequence numbering continues). */
+    void clear() { heap_.clear(); }
+
+  private:
+    /** std::*_heap comparator: later events sink (max-heap inverted). */
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.tick != b.tick)
+                return a.tick > b.tick;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::vector<Event> heap_;
+    uint64_t next_seq_ = 0;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_SIM_EVENT_QUEUE_HH

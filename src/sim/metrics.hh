@@ -29,6 +29,29 @@ struct RunResult
     /** Simulated time at the end of the replay (after the drain). */
     Tick sim_time_ns = 0;
 
+    /** Queue depth the replay engine drove the device with. */
+    uint32_t queue_depth = 1;
+    /** Time-weighted mean number of outstanding requests. */
+    double mean_inflight = 0.0;
+    /** Peak number of outstanding requests observed. */
+    uint64_t max_inflight = 0;
+    /**
+     * Mean submission stall per request in us: how long an arrived,
+     * in-order request waited for a free queue slot before the engine
+     * could submit it (0 when the device keeps up with arrivals).
+     * Complements avg_latency_us, which is pure service time from
+     * submission to completion.
+     */
+    double avg_queue_wait_us = 0.0;
+    /** Largest single submission stall in us. */
+    double max_queue_wait_us = 0.0;
+    /**
+     * Completions retired behind a later-submitted request (tags from
+     * the completion events compare below the running maximum). 0 at
+     * queue_depth=1; > 0 is direct evidence requests overlapped.
+     */
+    uint64_t ooo_completions = 0;
+
     double avg_read_latency_us = 0.0;
     double p99_read_latency_us = 0.0;
     double avg_write_latency_us = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "learned/learned_table.hh"
+#include "sim/event_queue.hh"
 #include "util/rng.hh"
 
 namespace leaftl
@@ -37,8 +38,10 @@ Runner::prefillMixed(Ssd &ssd, uint64_t pages, uint64_t seed)
     for (uint64_t lpa = seq_end + 1; lpa < stride_end; lpa += 2)
         now += ssd.write(static_cast<Lpa>(lpa), now);
     // Scattered region: random order (sampled with replacement plus a
-    // sweep with random gaps so most pages end up written).
-    const uint64_t scatter = limit - stride_end;
+    // sweep with random gaps so most pages end up written). Tiny
+    // prefills can leave the region empty; Rng::nextBounded(0) is
+    // undefined, so skip the phase entirely then.
+    const uint64_t scatter = limit > stride_end ? limit - stride_end : 0;
     for (uint64_t i = 0; i < scatter; i++) {
         const Lpa lpa =
             static_cast<Lpa>(stride_end + rng.nextBounded(scatter));
@@ -60,29 +63,84 @@ Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
     RunResult res;
     res.workload = workload.name();
     res.ftl = ssd.ftl().name();
+    const uint32_t qd = std::max<uint32_t>(1, opts.queue_depth);
+    res.queue_depth = qd;
 
-    const uint64_t host_pages = ssd.config().hostPages();
-
-    Tick now = 0;
+    EventQueue inflight;
+    Tick clock = 0;       // Latest submission/retirement processed.
+    Tick last_submit = 0; // Submissions are FIFO (NVMe SQ order).
+    Tick area_cursor = 0; // Inflight-integral sweep position.
+    double inflight_area = 0.0;
     double lat_sum = 0.0;
+    double wait_sum = 0.0;
+    Tick max_wait = 0;
+
+    // Advance the time-weighted inflight integral to tick t with the
+    // current queue population.
+    auto advance = [&](Tick t) {
+        if (t > area_cursor) {
+            inflight_area += static_cast<double>(inflight.size()) *
+                             static_cast<double>(t - area_cursor);
+            area_cursor = t;
+        }
+    };
+    // Retire the earliest completion (it stays inflight up to its
+    // completion tick, so integrate before popping). The event echoes
+    // the request's submission tag; a tag below the running maximum
+    // means this request was passed by a later submission.
+    bool any_retired = false;
+    uint64_t max_retired_tag = 0;
+    auto retireOne = [&]() {
+        advance(inflight.top().tick);
+        const Event ev = inflight.pop();
+        clock = std::max(clock, ev.tick);
+        if (any_retired && ev.tag < max_retired_tag) {
+            res.ooo_completions++;
+        } else {
+            max_retired_tag = ev.tag;
+            any_retired = true;
+        }
+    };
+
     IoRequest req;
     while (workload.next(req)) {
-        now = std::max(now, req.arrival);
-        Tick req_lat = 0;
-        for (uint32_t i = 0; i < req.npages; i++) {
-            const Lpa lpa = (req.lpa + i) % host_pages;
-            const Tick lat = req.op == Op::Read ? ssd.read(lpa, now)
-                                                : ssd.write(lpa, now);
-            req_lat = std::max(req_lat, lat);
-            res.pages_touched++;
-        }
-        lat_sum += static_cast<double>(req_lat);
-        now += req_lat;
+        // The request becomes submittable once it has arrived and its
+        // predecessor has been submitted (in-order submission queue).
+        const Tick ready = std::max(req.arrival, last_submit);
+        // Retire completions that precede it.
+        while (!inflight.empty() && inflight.top().tick <= ready)
+            retireOne();
+        // Queue full: admission stalls until a slot frees.
+        while (inflight.size() >= qd)
+            retireOne();
+        const Tick submit_at = std::max(ready, clock);
+        advance(submit_at);
+
+        req.tag = res.requests; // Submission index, echoed at retirement.
+        const Tick done = ssd.submit(req, submit_at);
+        inflight.push(done, req.tag);
+        last_submit = submit_at;
+        res.max_inflight =
+            std::max<uint64_t>(res.max_inflight, inflight.size());
+
+        const Tick wait = submit_at - ready;
+        wait_sum += static_cast<double>(wait);
+        max_wait = std::max(max_wait, wait);
+        lat_sum += static_cast<double>(done - submit_at);
+        res.pages_touched += req.npages;
         res.requests++;
     }
+    while (!inflight.empty())
+        retireOne();
+
     if (opts.drain_at_end)
-        ssd.drainBuffer(now);
-    res.sim_time_ns = now;
+        ssd.drainBuffer(clock);
+    res.sim_time_ns = clock;
+    res.mean_inflight =
+        clock ? inflight_area / static_cast<double>(clock) : 0.0;
+    res.avg_queue_wait_us =
+        res.requests ? wait_sum / res.requests / 1000.0 : 0.0;
+    res.max_queue_wait_us = static_cast<double>(max_wait) / 1000.0;
 
     const SsdStats &st = ssd.stats();
     res.ssd = st;

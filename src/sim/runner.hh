@@ -1,11 +1,17 @@
 /**
  * @file
- * Trace replay driver: feeds a WorkloadSource into an Ssd, one
- * request at a time, and collects a RunResult. Multi-page requests
- * fan out page operations at the same issue time (channel parallelism
- * applies); the next request is issued no earlier than its arrival
- * timestamp and no earlier than the previous completion (a single
- * outstanding request, like the paper's trace-driven WiscSim runs).
+ * Event-driven trace replay: feeds a WorkloadSource into an Ssd with
+ * up to RunOptions::queue_depth requests outstanding and collects a
+ * RunResult. Requests are admitted in submission-queue order (no
+ * earlier than their arrival, no earlier than the previous
+ * submission), submitted through the asynchronous Ssd::submit API,
+ * and retired in completion-tick order through an EventQueue. A full
+ * queue stalls admission until the earliest completion frees a slot.
+ *
+ * queue_depth = 1 degenerates to the paper's closed-loop trace-driven
+ * WiscSim model (one outstanding request) and reproduces it exactly;
+ * larger depths let concurrent requests overlap across flash channels,
+ * the way a real NVMe host keeps the device busy.
  */
 
 #ifndef LEAFTL_SIM_RUNNER_HH
@@ -40,6 +46,12 @@ struct RunOptions
     bool mixed_prefill = false;
     /** Drain the write buffer after the last request. */
     bool drain_at_end = true;
+    /**
+     * Maximum outstanding requests (NVMe-style queue depth). 1 (the
+     * default) is the closed-loop single-outstanding-request model;
+     * values < 1 are treated as 1.
+     */
+    uint32_t queue_depth = 1;
 };
 
 /** The replay driver. */

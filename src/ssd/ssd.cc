@@ -226,6 +226,20 @@ Ssd::write(Lpa lpa, Tick now)
 }
 
 Tick
+Ssd::submit(const IoRequest &req, Tick now)
+{
+    const uint64_t host_pages = cfg_.hostPages();
+    Tick done = now;
+    for (uint32_t i = 0; i < req.npages; i++) {
+        const Lpa lpa = static_cast<Lpa>((req.lpa + i) % host_pages);
+        const Tick lat =
+            req.op == Op::Read ? read(lpa, now) : write(lpa, now);
+        done = std::max(done, now + lat);
+    }
+    return done;
+}
+
+Tick
 Ssd::trim(Lpa lpa, Tick now)
 {
     LEAFTL_ASSERT(lpa < cfg_.hostPages(), "host trim beyond capacity");

@@ -28,6 +28,7 @@
 #include "ssd/write_buffer.hh"
 #include "util/common.hh"
 #include "util/stats.hh"
+#include "workload/request.hh"
 
 namespace leaftl
 {
@@ -116,6 +117,20 @@ class Ssd : public FtlOps
     Tick write(Lpa lpa, Tick now);
 
     /**
+     * Asynchronously submit a (possibly multi-page) host request at
+     * @a now: all of its page operations issue at the same tick
+     * (channel parallelism applies) and the request completes when the
+     * slowest page does. The call does not block the device -- callers
+     * keep multiple requests outstanding by submitting the next one
+     * before this completion tick; conflicting flash accesses simply
+     * queue behind each other in the per-channel busy-until model.
+     * read()/write() stay the synchronous depth-1 single-page API.
+     * LPAs wrap modulo the host capacity.
+     * @return Absolute completion tick (>= @a now).
+     */
+    Tick submit(const IoRequest &req, Tick now);
+
+    /**
      * TRIM/deallocate a page: invalidates the backing flash page (so
      * GC can reclaim it without migration) and unmaps the LPA.
      * @return service latency.
@@ -145,6 +160,8 @@ class Ssd : public FtlOps
     const Ftl &ftl() const { return *ftl_; }
     FlashArray &flash() { return flash_; }
     const BlockManager &blocks() const { return blocks_; }
+    /** Channel busy-until state (read-only; timing introspection). */
+    const ChannelTimer &channels() const { return channels_; }
 
     /** Current data-cache capacity in pages (after the DRAM split). */
     uint64_t dataCachePages() const { return cache_.capacity(); }

@@ -29,6 +29,12 @@ struct IoRequest
     Lpa lpa = 0;
     uint32_t npages = 1;
     Tick arrival = 0;
+    /**
+     * Submission-queue tag: assigned by the replay engine when the
+     * request is admitted and echoed in its completion event. Workload
+     * sources leave it 0.
+     */
+    uint64_t tag = 0;
 };
 
 /** Pull-based request source. */

@@ -13,7 +13,9 @@
 #ifndef LEAFTL_WORKLOAD_TRACE_HH
 #define LEAFTL_WORKLOAD_TRACE_HH
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/request.hh"
@@ -49,30 +51,42 @@ std::vector<IoRequest> loadFiuTrace(const std::string &path,
                                     uint32_t page_size,
                                     uint64_t lpa_space = 0);
 
-/** Replay a fixed request vector. */
+/**
+ * Replay a fixed request vector. The requests can be shared: several
+ * TraceWorkload instances (e.g. parallel sweep runs over the same
+ * trace file) may reference one immutable parsed vector, each with
+ * its own replay cursor, so a large trace is parsed and held once.
+ */
 class TraceWorkload : public WorkloadSource
 {
   public:
     TraceWorkload(std::string name, std::vector<IoRequest> reqs)
+        : TraceWorkload(std::move(name),
+                        std::make_shared<const std::vector<IoRequest>>(
+                            std::move(reqs)))
+    {}
+
+    TraceWorkload(std::string name,
+                  std::shared_ptr<const std::vector<IoRequest>> reqs)
         : name_(std::move(name)), reqs_(std::move(reqs))
     {}
 
     bool
     next(IoRequest &req) override
     {
-        if (pos_ >= reqs_.size())
+        if (pos_ >= reqs_->size())
             return false;
-        req = reqs_[pos_++];
+        req = (*reqs_)[pos_++];
         return true;
     }
 
     void reset() override { pos_ = 0; }
     const std::string &name() const override { return name_; }
-    size_t size() const { return reqs_.size(); }
+    size_t size() const { return reqs_->size(); }
 
   private:
     std::string name_;
-    std::vector<IoRequest> reqs_;
+    std::shared_ptr<const std::vector<IoRequest>> reqs_;
     size_t pos_ = 0;
 };
 

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "cli/sim_cli.hh"
@@ -41,8 +45,32 @@ TEST(SimCliParse, Defaults)
     EXPECT_EQ(opts.workloads[0], "synthetic:zipf");
     ASSERT_EQ(opts.gammas.size(), 1u);
     EXPECT_EQ(opts.gammas[0], 0u);
+    ASSERT_EQ(opts.queue_depths.size(), 1u);
+    EXPECT_EQ(opts.queue_depths[0], 1u);
+    EXPECT_EQ(opts.jobs, 0u); // 0 = hardware concurrency.
     EXPECT_FALSE(opts.help);
     EXPECT_FALSE(opts.list);
+}
+
+TEST(SimCliParse, QueueDepthAndJobs)
+{
+    const SimOptions opts =
+        parse({"--qd", "1,2,8", "--jobs=3", "--interarrival=2.5"});
+    EXPECT_EQ(opts.queue_depths, (std::vector<uint32_t>{1, 2, 8}));
+    EXPECT_EQ(opts.jobs, 3u);
+    EXPECT_DOUBLE_EQ(opts.interarrival_us, 2.5);
+
+    SimOptions bad;
+    std::string err;
+    {
+        const char *argv[] = {"leaftl_sim", "--qd", "0"};
+        EXPECT_FALSE(parseArgs(3, argv, bad, err));
+        EXPECT_NE(err.find("queue depth"), std::string::npos);
+    }
+    {
+        const char *argv[] = {"leaftl_sim", "--jobs", "0"};
+        EXPECT_FALSE(parseArgs(3, argv, bad, err));
+    }
 }
 
 TEST(SimCliParse, ListsAndEqualsSyntax)
@@ -106,6 +134,46 @@ TEST(SimCliWorkloads, ResolvesEveryKnownFamily)
     EXPECT_EQ(makeWorkload("gibberish", opts, err), nullptr);
 }
 
+TEST(SimCliWorkloads, TraceCacheSharesOneParse)
+{
+    // Per-process path: the normal and sanitize trees may run ctest
+    // concurrently on one machine.
+    const std::string path = "/tmp/leaftl_sim_cli_trace." +
+                             std::to_string(::getpid()) + ".csv";
+    {
+        std::ofstream out(path);
+        out << "128166372003061629,hm,0,Read,8192,8192,151\n";
+        out << "128166372016382155,hm,0,Write,12288,4096,388\n";
+    }
+
+    SimOptions opts;
+    opts.working_set_pages = 2048;
+    std::string err;
+    TraceCache cache;
+    const std::string spec = "trace:" + path;
+
+    auto first = makeWorkload(spec, opts, err, &cache);
+    ASSERT_NE(first, nullptr) << err;
+    ASSERT_EQ(cache.size(), 1u);
+
+    // A cache hit must not re-read the file: delete it, then build
+    // another source from the same spec and replay both fully.
+    std::remove(path.c_str());
+    auto second = makeWorkload(spec, opts, err, &cache);
+    ASSERT_NE(second, nullptr) << err;
+
+    IoRequest a, b;
+    size_t n = 0;
+    while (first->next(a)) {
+        ASSERT_TRUE(second->next(b));
+        EXPECT_EQ(a.lpa, b.lpa);
+        EXPECT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
+        n++;
+    }
+    EXPECT_FALSE(second->next(b));
+    EXPECT_EQ(n, 2u);
+}
+
 TEST(SimCliSweep, OneCsvRowPerCombination)
 {
     SimOptions opts;
@@ -123,7 +191,7 @@ TEST(SimCliSweep, OneCsvRowPerCombination)
     std::string line;
     ASSERT_TRUE(std::getline(lines, line));
     EXPECT_EQ(line, csvHeader());
-    EXPECT_EQ(line.substr(0, 20), "ftl,workload,gamma,r");
+    EXPECT_EQ(line.substr(0, 22), "ftl,workload,gamma,qd,");
 
     size_t rows = 0;
     while (std::getline(lines, line)) {
@@ -132,6 +200,68 @@ TEST(SimCliSweep, OneCsvRowPerCombination)
     }
     // 2 ftls x 1 workload x 2 gammas.
     EXPECT_EQ(rows, 4u);
+}
+
+TEST(SimCliSweep, QueueDepthAxisEmitsOneRowEach)
+{
+    SimOptions opts;
+    opts.ftls = {FtlKind::LeaFTL};
+    opts.workloads = {"synthetic:seq"};
+    opts.gammas = {0};
+    opts.queue_depths = {1, 4};
+    opts.requests = 300;
+    opts.working_set_pages = 2048;
+    opts.prefill_frac = 0.25;
+    opts.jobs = 1;
+
+    std::ostringstream out;
+    ASSERT_EQ(runSweep(opts, out), 0);
+
+    // One row per qd, qd echoed in column 4 (0-based 3).
+    std::istringstream lines(out.str());
+    std::string line;
+    std::getline(lines, line); // header
+    std::vector<std::string> qds;
+    while (std::getline(lines, line)) {
+        std::istringstream cells(line);
+        std::string cell;
+        for (int c = 0; c <= 3; c++)
+            std::getline(cells, cell, ',');
+        qds.push_back(cell);
+    }
+    EXPECT_EQ(qds, (std::vector<std::string>{"1", "4"}));
+}
+
+TEST(SimCliSweep, ParallelJobsProduceIdenticalCsv)
+{
+    SimOptions opts;
+    opts.ftls = {FtlKind::LeaFTL, FtlKind::DFTL};
+    opts.workloads = {"synthetic:seq"};
+    opts.gammas = {0, 4};
+    opts.queue_depths = {1, 4};
+    opts.requests = 300;
+    opts.working_set_pages = 2048;
+    opts.prefill_frac = 0.25;
+
+    opts.jobs = 1;
+    std::ostringstream serial;
+    ASSERT_EQ(runSweep(opts, serial), 0);
+
+    opts.jobs = 4;
+    std::ostringstream parallel;
+    ASSERT_EQ(runSweep(opts, parallel), 0);
+
+    // Rows are emitted in combination order regardless of job count,
+    // so the whole CSV must be byte-identical.
+    EXPECT_EQ(serial.str(), parallel.str());
+
+    // 2 ftls x 1 workload x 2 gammas x 2 qds = 8 rows + header.
+    size_t lines = 0;
+    std::istringstream in(serial.str());
+    std::string line;
+    while (std::getline(in, line))
+        lines++;
+    EXPECT_EQ(lines, 9u);
 }
 
 TEST(SimCliSweep, GammaShrinksLeaFtlMapping)
@@ -147,7 +277,7 @@ TEST(SimCliSweep, GammaShrinksLeaFtlMapping)
     std::ostringstream out;
     ASSERT_EQ(runSweep(opts, out), 0);
 
-    // Parse mapping_bytes (column 13, 0-based 12) of both data rows.
+    // Parse mapping_bytes (column 14, 0-based 13) of both data rows.
     std::istringstream lines(out.str());
     std::string line;
     std::getline(lines, line); // header
@@ -155,7 +285,7 @@ TEST(SimCliSweep, GammaShrinksLeaFtlMapping)
     while (std::getline(lines, line)) {
         std::istringstream cells(line);
         std::string cell;
-        for (int c = 0; c <= 12; c++)
+        for (int c = 0; c <= 13; c++)
             std::getline(cells, cell, ',');
         mapping.push_back(std::stoull(cell));
     }

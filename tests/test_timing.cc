@@ -61,6 +61,28 @@ TEST(ChannelTimer, EarliestFreeTracksMinimum)
     EXPECT_EQ(timer.earliestFree(), 100u);
 }
 
+TEST(ChannelTimer, PeekAccessDoesNotSchedule)
+{
+    ChannelTimer timer(2);
+    timer.access(0, 0, 100); // Busy until 100.
+
+    // The query reports what access() would return...
+    EXPECT_EQ(timer.peekAccess(0, 50, 30), 130u);
+    EXPECT_EQ(timer.peekAccess(0, 500, 30), 530u);
+    EXPECT_EQ(timer.peekAccess(1, 50, 30), 80u);
+
+    // ...but leaves every busy-until cursor untouched.
+    EXPECT_EQ(timer.busyUntil(0), 100u);
+    EXPECT_EQ(timer.busyUntil(1), 0u);
+    EXPECT_EQ(timer.access(0, 50, 30), 130u);
+}
+
+TEST(ChannelTimer, NumChannels)
+{
+    ChannelTimer timer(7);
+    EXPECT_EQ(timer.numChannels(), 7u);
+}
+
 TEST(ChannelTimer, BusyUntilAndReset)
 {
     ChannelTimer timer(2);
