@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inplace.dir/bench/ablation_inplace.cc.o"
+  "CMakeFiles/bench_ablation_inplace.dir/bench/ablation_inplace.cc.o.d"
+  "bench/ablation_inplace"
+  "bench/ablation_inplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_segment_distribution.dir/bench/fig05_segment_distribution.cc.o"
+  "CMakeFiles/bench_fig05_segment_distribution.dir/bench/fig05_segment_distribution.cc.o.d"
+  "bench/fig05_segment_distribution"
+  "bench/fig05_segment_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_segment_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

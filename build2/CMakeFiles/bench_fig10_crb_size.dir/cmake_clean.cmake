@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_crb_size.dir/bench/fig10_crb_size.cc.o"
+  "CMakeFiles/bench_fig10_crb_size.dir/bench/fig10_crb_size.cc.o.d"
+  "bench/fig10_crb_size"
+  "bench/fig10_crb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_crb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

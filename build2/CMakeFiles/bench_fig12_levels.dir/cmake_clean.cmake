@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_levels.dir/bench/fig12_levels.cc.o"
+  "CMakeFiles/bench_fig12_levels.dir/bench/fig12_levels.cc.o.d"
+  "bench/fig12_levels"
+  "bench/fig12_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

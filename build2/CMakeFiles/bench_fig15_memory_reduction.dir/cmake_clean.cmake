@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_memory_reduction.dir/bench/fig15_memory_reduction.cc.o"
+  "CMakeFiles/bench_fig15_memory_reduction.dir/bench/fig15_memory_reduction.cc.o.d"
+  "bench/fig15_memory_reduction"
+  "bench/fig15_memory_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_memory_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

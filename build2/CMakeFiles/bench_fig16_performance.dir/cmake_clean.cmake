@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_performance.dir/bench/fig16_performance.cc.o"
+  "CMakeFiles/bench_fig16_performance.dir/bench/fig16_performance.cc.o.d"
+  "bench/fig16_performance"
+  "bench/fig16_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_latency_cdf.dir/bench/fig18_latency_cdf.cc.o"
+  "CMakeFiles/bench_fig18_latency_cdf.dir/bench/fig18_latency_cdf.cc.o.d"
+  "bench/fig18_latency_cdf"
+  "bench/fig18_latency_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_latency_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

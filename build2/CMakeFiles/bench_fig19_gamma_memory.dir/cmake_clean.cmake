@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_gamma_memory.dir/bench/fig19_gamma_memory.cc.o"
+  "CMakeFiles/bench_fig19_gamma_memory.dir/bench/fig19_gamma_memory.cc.o.d"
+  "bench/fig19_gamma_memory"
+  "bench/fig19_gamma_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_gamma_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

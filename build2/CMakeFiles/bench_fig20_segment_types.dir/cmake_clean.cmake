@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_segment_types.dir/bench/fig20_segment_types.cc.o"
+  "CMakeFiles/bench_fig20_segment_types.dir/bench/fig20_segment_types.cc.o.d"
+  "bench/fig20_segment_types"
+  "bench/fig20_segment_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_segment_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_sensitivity.dir/bench/fig22_sensitivity.cc.o"
+  "CMakeFiles/bench_fig22_sensitivity.dir/bench/fig22_sensitivity.cc.o.d"
+  "bench/fig22_sensitivity"
+  "bench/fig22_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

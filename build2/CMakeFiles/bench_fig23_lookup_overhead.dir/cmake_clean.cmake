@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_lookup_overhead.dir/bench/fig23_lookup_overhead.cc.o"
+  "CMakeFiles/bench_fig23_lookup_overhead.dir/bench/fig23_lookup_overhead.cc.o.d"
+  "bench/fig23_lookup_overhead"
+  "bench/fig23_lookup_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_lookup_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

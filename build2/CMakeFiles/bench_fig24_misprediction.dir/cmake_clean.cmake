@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_misprediction.dir/bench/fig24_misprediction.cc.o"
+  "CMakeFiles/bench_fig24_misprediction.dir/bench/fig24_misprediction.cc.o.d"
+  "bench/fig24_misprediction"
+  "bench/fig24_misprediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_misprediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

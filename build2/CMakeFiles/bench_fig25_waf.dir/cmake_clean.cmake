@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_waf.dir/bench/fig25_waf.cc.o"
+  "CMakeFiles/bench_fig25_waf.dir/bench/fig25_waf.cc.o.d"
+  "bench/fig25_waf"
+  "bench/fig25_waf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_waf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

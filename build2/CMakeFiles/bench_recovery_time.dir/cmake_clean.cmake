@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_time.dir/bench/recovery_time.cc.o"
+  "CMakeFiles/bench_recovery_time.dir/bench/recovery_time.cc.o.d"
+  "bench/recovery_time"
+  "bench/recovery_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_microbench.dir/bench/table3_microbench.cc.o"
+  "CMakeFiles/bench_table3_microbench.dir/bench/table3_microbench.cc.o.d"
+  "bench/table3_microbench"
+  "bench/table3_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaftl_cli.dir/src/cli/sim_cli.cc.o"
+  "CMakeFiles/leaftl_cli.dir/src/cli/sim_cli.cc.o.d"
+  "libleaftl_cli.a"
+  "libleaftl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaftl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

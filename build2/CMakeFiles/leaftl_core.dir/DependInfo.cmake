@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/flash_array.cc" "CMakeFiles/leaftl_core.dir/src/flash/flash_array.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/flash/flash_array.cc.o.d"
+  "/root/repo/src/flash/geometry.cc" "CMakeFiles/leaftl_core.dir/src/flash/geometry.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/flash/geometry.cc.o.d"
+  "/root/repo/src/flash/timing.cc" "CMakeFiles/leaftl_core.dir/src/flash/timing.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/flash/timing.cc.o.d"
+  "/root/repo/src/ftl/dftl.cc" "CMakeFiles/leaftl_core.dir/src/ftl/dftl.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/ftl/dftl.cc.o.d"
+  "/root/repo/src/ftl/ftl.cc" "CMakeFiles/leaftl_core.dir/src/ftl/ftl.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/ftl/ftl.cc.o.d"
+  "/root/repo/src/ftl/leaftl.cc" "CMakeFiles/leaftl_core.dir/src/ftl/leaftl.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/ftl/leaftl.cc.o.d"
+  "/root/repo/src/ftl/sftl.cc" "CMakeFiles/leaftl_core.dir/src/ftl/sftl.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/ftl/sftl.cc.o.d"
+  "/root/repo/src/learned/crb.cc" "CMakeFiles/leaftl_core.dir/src/learned/crb.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/learned/crb.cc.o.d"
+  "/root/repo/src/learned/group.cc" "CMakeFiles/leaftl_core.dir/src/learned/group.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/learned/group.cc.o.d"
+  "/root/repo/src/learned/learned_table.cc" "CMakeFiles/leaftl_core.dir/src/learned/learned_table.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/learned/learned_table.cc.o.d"
+  "/root/repo/src/learned/plr.cc" "CMakeFiles/leaftl_core.dir/src/learned/plr.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/learned/plr.cc.o.d"
+  "/root/repo/src/learned/segment.cc" "CMakeFiles/leaftl_core.dir/src/learned/segment.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/learned/segment.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/leaftl_core.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "CMakeFiles/leaftl_core.dir/src/sim/metrics.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/reporter.cc" "CMakeFiles/leaftl_core.dir/src/sim/reporter.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/sim/reporter.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "CMakeFiles/leaftl_core.dir/src/sim/runner.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/sim/runner.cc.o.d"
+  "/root/repo/src/ssd/block_manager.cc" "CMakeFiles/leaftl_core.dir/src/ssd/block_manager.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/ssd/block_manager.cc.o.d"
+  "/root/repo/src/ssd/config.cc" "CMakeFiles/leaftl_core.dir/src/ssd/config.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/ssd/config.cc.o.d"
+  "/root/repo/src/ssd/data_cache.cc" "CMakeFiles/leaftl_core.dir/src/ssd/data_cache.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/ssd/data_cache.cc.o.d"
+  "/root/repo/src/ssd/ssd.cc" "CMakeFiles/leaftl_core.dir/src/ssd/ssd.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/ssd/ssd.cc.o.d"
+  "/root/repo/src/ssd/write_buffer.cc" "CMakeFiles/leaftl_core.dir/src/ssd/write_buffer.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/ssd/write_buffer.cc.o.d"
+  "/root/repo/src/util/bitmap.cc" "CMakeFiles/leaftl_core.dir/src/util/bitmap.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/util/bitmap.cc.o.d"
+  "/root/repo/src/util/common.cc" "CMakeFiles/leaftl_core.dir/src/util/common.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/util/common.cc.o.d"
+  "/root/repo/src/util/float16.cc" "CMakeFiles/leaftl_core.dir/src/util/float16.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/util/float16.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/leaftl_core.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/leaftl_core.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/workload/app_models.cc" "CMakeFiles/leaftl_core.dir/src/workload/app_models.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/workload/app_models.cc.o.d"
+  "/root/repo/src/workload/msr_models.cc" "CMakeFiles/leaftl_core.dir/src/workload/msr_models.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/workload/msr_models.cc.o.d"
+  "/root/repo/src/workload/request.cc" "CMakeFiles/leaftl_core.dir/src/workload/request.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/workload/request.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "CMakeFiles/leaftl_core.dir/src/workload/synthetic.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "CMakeFiles/leaftl_core.dir/src/workload/trace.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/workload/trace.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "CMakeFiles/leaftl_core.dir/src/workload/zipf.cc.o" "gcc" "CMakeFiles/leaftl_core.dir/src/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleaftl_core.a"
+)

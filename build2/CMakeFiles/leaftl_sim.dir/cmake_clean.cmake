@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaftl_sim.dir/src/cli/main.cc.o"
+  "CMakeFiles/leaftl_sim.dir/src/cli/main.cc.o.d"
+  "leaftl_sim"
+  "leaftl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaftl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

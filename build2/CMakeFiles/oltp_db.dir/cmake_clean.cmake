@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_db.dir/examples/oltp_db.cpp.o"
+  "CMakeFiles/oltp_db.dir/examples/oltp_db.cpp.o.d"
+  "examples/oltp_db"
+  "examples/oltp_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

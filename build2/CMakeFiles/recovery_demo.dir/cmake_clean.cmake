@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_demo.dir/examples/recovery_demo.cpp.o"
+  "CMakeFiles/recovery_demo.dir/examples/recovery_demo.cpp.o.d"
+  "examples/recovery_demo"
+  "examples/recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitmap.dir/tests/test_bitmap.cc.o"
+  "CMakeFiles/test_bitmap.dir/tests/test_bitmap.cc.o.d"
+  "test_bitmap"
+  "test_bitmap.pdb"
+  "test_bitmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_manager.dir/tests/test_block_manager.cc.o"
+  "CMakeFiles/test_block_manager.dir/tests/test_block_manager.cc.o.d"
+  "test_block_manager"
+  "test_block_manager.pdb"
+  "test_block_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

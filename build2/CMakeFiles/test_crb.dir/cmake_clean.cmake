@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crb.dir/tests/test_crb.cc.o"
+  "CMakeFiles/test_crb.dir/tests/test_crb.cc.o.d"
+  "test_crb"
+  "test_crb.pdb"
+  "test_crb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_cache.dir/tests/test_data_cache.cc.o"
+  "CMakeFiles/test_data_cache.dir/tests/test_data_cache.cc.o.d"
+  "test_data_cache"
+  "test_data_cache.pdb"
+  "test_data_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

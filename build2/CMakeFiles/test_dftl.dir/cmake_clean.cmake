@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dftl.dir/tests/test_dftl.cc.o"
+  "CMakeFiles/test_dftl.dir/tests/test_dftl.cc.o.d"
+  "test_dftl"
+  "test_dftl.pdb"
+  "test_dftl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

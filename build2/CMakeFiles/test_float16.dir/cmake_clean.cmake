@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float16.dir/tests/test_float16.cc.o"
+  "CMakeFiles/test_float16.dir/tests/test_float16.cc.o.d"
+  "test_float16"
+  "test_float16.pdb"
+  "test_float16[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

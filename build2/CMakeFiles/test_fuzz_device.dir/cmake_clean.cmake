@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_device.dir/tests/test_fuzz_device.cc.o"
+  "CMakeFiles/test_fuzz_device.dir/tests/test_fuzz_device.cc.o.d"
+  "test_fuzz_device"
+  "test_fuzz_device.pdb"
+  "test_fuzz_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

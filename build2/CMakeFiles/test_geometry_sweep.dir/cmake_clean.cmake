@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry_sweep.dir/tests/test_geometry_sweep.cc.o"
+  "CMakeFiles/test_geometry_sweep.dir/tests/test_geometry_sweep.cc.o.d"
+  "test_geometry_sweep"
+  "test_geometry_sweep.pdb"
+  "test_geometry_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

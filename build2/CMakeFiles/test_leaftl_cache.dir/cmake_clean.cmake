@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leaftl_cache.dir/tests/test_leaftl_cache.cc.o"
+  "CMakeFiles/test_leaftl_cache.dir/tests/test_leaftl_cache.cc.o.d"
+  "test_leaftl_cache"
+  "test_leaftl_cache.pdb"
+  "test_leaftl_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leaftl_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

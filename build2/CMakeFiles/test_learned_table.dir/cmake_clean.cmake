@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learned_table.dir/tests/test_learned_table.cc.o"
+  "CMakeFiles/test_learned_table.dir/tests/test_learned_table.cc.o.d"
+  "test_learned_table"
+  "test_learned_table.pdb"
+  "test_learned_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learned_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plr.dir/tests/test_plr.cc.o"
+  "CMakeFiles/test_plr.dir/tests/test_plr.cc.o.d"
+  "test_plr"
+  "test_plr.pdb"
+  "test_plr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

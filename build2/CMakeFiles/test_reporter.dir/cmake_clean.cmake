@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reporter.dir/tests/test_reporter.cc.o"
+  "CMakeFiles/test_reporter.dir/tests/test_reporter.cc.o.d"
+  "test_reporter"
+  "test_reporter.pdb"
+  "test_reporter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

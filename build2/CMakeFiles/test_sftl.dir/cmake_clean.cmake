@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sftl.dir/tests/test_sftl.cc.o"
+  "CMakeFiles/test_sftl.dir/tests/test_sftl.cc.o.d"
+  "test_sftl"
+  "test_sftl.pdb"
+  "test_sftl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_cli.dir/tests/test_sim_cli.cc.o"
+  "CMakeFiles/test_sim_cli.dir/tests/test_sim_cli.cc.o.d"
+  "test_sim_cli"
+  "test_sim_cli.pdb"
+  "test_sim_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trim.dir/tests/test_trim.cc.o"
+  "CMakeFiles/test_trim.dir/tests/test_trim.cc.o.d"
+  "test_trim"
+  "test_trim.pdb"
+  "test_trim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_replay.dir/examples/trace_replay.cpp.o"
+  "CMakeFiles/trace_replay.dir/examples/trace_replay.cpp.o.d"
+  "examples/trace_replay"
+  "examples/trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
