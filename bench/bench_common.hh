@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "flash/presets.hh"
 #include "sim/runner.hh"
 #include "sim/reporter.hh"
 #include "ssd/ssd.hh"
@@ -43,6 +44,8 @@ struct BenchScale
     uint32_t gamma = 0;
     /** Outstanding host requests during replay (1 = closed loop). */
     uint32_t queue_depth = 1;
+    /** Device preset name; empty = derive geometry from the ws. */
+    std::string device;
     bool fast = false;
 
     uint64_t
@@ -55,7 +58,10 @@ struct BenchScale
     }
 };
 
-/** Parse --requests= --ws= --dram-mb= --gamma= --qd= --fast + free arg. */
+/**
+ * Parse --requests= --ws= --dram-mb= --gamma= --qd= --device= --fast
+ * + free arg.
+ */
 inline BenchScale
 parseScale(int argc, char **argv, std::string *free_arg = nullptr)
 {
@@ -73,6 +79,10 @@ parseScale(int argc, char **argv, std::string *free_arg = nullptr)
         } else if (arg.rfind("--qd=", 0) == 0) {
             s.queue_depth = std::max(
                 1u, static_cast<uint32_t>(std::stoul(arg.substr(5))));
+        } else if (arg.rfind("--device=", 0) == 0) {
+            s.device = arg.substr(9);
+            if (!findDevicePreset(s.device))
+                LEAFTL_FATAL("unknown device preset '" + s.device + "'");
         } else if (arg == "--fast") {
             s.fast = true;
             s.requests /= 10;
@@ -99,30 +109,46 @@ benchConfig(FtlKind ftl, const BenchScale &s,
             uint32_t page_size = 4096)
 {
     SsdConfig cfg;
-    cfg.geometry.num_channels = 16;
-    cfg.geometry.pages_per_block = 256;
-    cfg.geometry.page_size = page_size;
-    cfg.geometry.oob_size = 128;
+    const DevicePreset *preset =
+        s.device.empty() ? nullptr : findDevicePreset(s.device);
+    if (preset) {
+        cfg.geometry = preset->geometry;
+        cfg.geometry.page_size = page_size;
+    } else {
+        cfg.geometry.num_channels = 16;
+        cfg.geometry.pages_per_block = 256;
+        cfg.geometry.page_size = page_size;
+        cfg.geometry.oob_size = 128;
 
-    // Size the device so host pages ~= ws * 4/3.
-    const uint64_t host_pages = s.working_set_pages * 4 / 3;
-    const uint64_t raw_pages =
-        static_cast<uint64_t>(host_pages / (1.0 - 0.20)) + 1;
-    const uint64_t blocks =
-        ceilDiv(raw_pages, cfg.geometry.pages_per_block);
-    cfg.geometry.blocks_per_channel = static_cast<uint32_t>(
-        std::max<uint64_t>(8, ceilDiv(blocks, cfg.geometry.num_channels)));
+        // Size the device so host pages ~= ws * 4/3.
+        const uint64_t host_pages = s.working_set_pages * 4 / 3;
+        const uint64_t raw_pages =
+            static_cast<uint64_t>(host_pages / (1.0 - 0.20)) + 1;
+        const uint64_t blocks =
+            ceilDiv(raw_pages, cfg.geometry.pages_per_block);
+        cfg.geometry.blocks_per_channel = static_cast<uint32_t>(
+            std::max<uint64_t>(8,
+                               ceilDiv(blocks, cfg.geometry.num_channels)));
+    }
 
     cfg.ftl = ftl;
     cfg.gamma = s.gamma;
-    cfg.dram_bytes = s.dramBytes();
+    // A preset is a complete device: its recommended DRAM applies
+    // unless --dram-mb= overrides (as the leaftl_sim CLI does, so one
+    // preset name means the same device everywhere).
+    cfg.dram_bytes = s.dram_bytes > 0 ? s.dram_bytes
+                     : preset         ? preset->dram_bytes
+                                      : s.dramBytes();
     cfg.dram_policy = policy;
-    cfg.write_buffer_bytes = 8ull << 20;
+    cfg.write_buffer_bytes =
+        preset ? preset->write_buffer_bytes : 8ull << 20;
     // The paper compacts every 1M writes on a 512M-page device; scale
     // the interval with the device so compaction fires at the same
-    // relative frequency.
+    // relative frequency. Preset devices have a fixed size, so derive
+    // from their geometry; ws-derived devices scale with the ws.
     cfg.compaction_interval =
-        std::max<uint64_t>(s.working_set_pages / 8, 2048);
+        preset ? std::max<uint64_t>(cfg.geometry.totalPages() / 512, 2048)
+               : std::max<uint64_t>(s.working_set_pages / 8, 2048);
     return cfg;
 }
 

@@ -1,0 +1,52 @@
+# End-to-end smoke for the device-preset axis: sweep --device over the
+# ws-derived geometry and the full-scale 2 TB preset and assert that
+# (a) the CSV gained the trailing device column, (b) each device
+# produced a row echoing its name. The 2 TB run finishing at all (in
+# seconds, in CI-sized memory) is the point: it exercises the sparse
+# block-granular flash store at paper scale.
+# Invoked by CTest with -DSIM_BIN=<path to leaftl_sim>.
+
+if(NOT SIM_BIN)
+    message(FATAL_ERROR "SIM_BIN not set")
+endif()
+
+execute_process(
+    COMMAND ${SIM_BIN}
+            --ftl leaftl
+            --workload synthetic:zipf
+            --device auto,paper-2tb
+            --requests 2000
+            --ws 4096
+            --prefill 0.25
+    OUTPUT_VARIABLE sim_out
+    RESULT_VARIABLE sim_rc)
+
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR "leaftl_sim exited with ${sim_rc}:\n${sim_out}")
+endif()
+
+string(STRIP "${sim_out}" sim_out)
+string(REPLACE "\n" ";" sim_lines "${sim_out}")
+list(LENGTH sim_lines n_lines)
+if(NOT n_lines EQUAL 3)
+    message(FATAL_ERROR
+        "expected header + 2 rows (auto and paper-2tb), got "
+        "${n_lines}:\n${sim_out}")
+endif()
+
+list(GET sim_lines 0 header)
+if(NOT header MATCHES ",device$")
+    message(FATAL_ERROR "CSV header lacks the device column: ${header}")
+endif()
+
+list(GET sim_lines 1 row_auto)
+if(NOT row_auto MATCHES ",auto$")
+    message(FATAL_ERROR "first row is not the auto device: ${row_auto}")
+endif()
+
+list(GET sim_lines 2 row_big)
+if(NOT row_big MATCHES ",paper-2tb$")
+    message(FATAL_ERROR "second row is not paper-2tb: ${row_big}")
+endif()
+
+message(STATUS "leaftl_sim device smoke OK (paper-2tb ran)")

@@ -13,6 +13,7 @@
 #include <thread>
 #include <tuple>
 
+#include "flash/presets.hh"
 #include "sim/runner.hh"
 #include "ssd/ssd.hh"
 #include "workload/app_models.hh"
@@ -155,6 +156,12 @@ fmt(double v)
 std::string
 usage()
 {
+    std::string preset_names;
+    for (const auto &name : devicePresetNames()) {
+        if (!preset_names.empty())
+            preset_names += ", ";
+        preset_names += name;
+    }
     std::ostringstream out;
     out << "leaftl_sim -- trace-driven FTL comparison driver\n"
         << "\n"
@@ -169,6 +176,9 @@ usage()
         << "  --gamma LIST     comma list of error bounds (default 0)\n"
         << "  --qd LIST        comma list of queue depths (outstanding\n"
         << "                   host requests per run, default 1)\n"
+        << "  --device LIST    comma list of device presets: auto (derive\n"
+        << "                   the geometry from --ws, default),\n"
+        << "                   " << preset_names << "; see --list\n"
         << "  --jobs N         sweep worker threads (default: hardware\n"
         << "                   concurrency; rows stay in sweep order)\n"
         << "  --requests N     requests per run (default 100000)\n"
@@ -293,6 +303,22 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
             }
             if (opts.queue_depths.empty()) {
                 err = "--qd list is empty";
+                return false;
+            }
+        } else if (arg == "--device") {
+            if (!need_value(i, value))
+                return false;
+            opts.devices.clear();
+            for (const auto &name : splitList(value)) {
+                if (name != "auto" && !findDevicePreset(name)) {
+                    err = "unknown device '" + name +
+                          "' (expected auto or a preset; see --list)";
+                    return false;
+                }
+                opts.devices.push_back(name);
+            }
+            if (opts.devices.empty()) {
+                err = "--device list is empty";
                 return false;
             }
         } else if (arg == "--jobs") {
@@ -449,49 +475,71 @@ makeWorkload(const std::string &spec, const SimOptions &opts,
 }
 
 SsdConfig
-makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts)
+makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts,
+           const std::string &device)
 {
     SsdConfig cfg;
-    cfg.geometry.num_channels = 16;
-    cfg.geometry.pages_per_block = 256;
-    cfg.geometry.page_size = 4096;
-    cfg.geometry.oob_size = 128;
+    const DevicePreset *preset =
+        device == "auto" ? nullptr : findDevicePreset(device);
+    LEAFTL_ASSERT(device == "auto" || preset,
+                  "makeConfig: unknown device preset");
+    if (preset) {
+        cfg.geometry = preset->geometry;
+    } else {
+        cfg.geometry.num_channels = 16;
+        cfg.geometry.pages_per_block = 256;
+        cfg.geometry.page_size = 4096;
+        cfg.geometry.oob_size = 128;
 
-    // Size the device so host pages ~= ws * 4/3: the workload occupies
-    // ~75% of the host space and its own churn keeps GC busy.
-    const uint64_t host_pages = opts.working_set_pages * 4 / 3;
-    const uint64_t raw_pages =
-        static_cast<uint64_t>(host_pages / (1.0 - 0.20)) + 1;
-    const uint64_t blocks = ceilDiv(raw_pages, cfg.geometry.pages_per_block);
-    cfg.geometry.blocks_per_channel = static_cast<uint32_t>(
-        std::max<uint64_t>(8, ceilDiv(blocks, cfg.geometry.num_channels)));
+        // Size the device so host pages ~= ws * 4/3: the workload
+        // occupies ~75% of the host space and its own churn keeps GC
+        // busy.
+        const uint64_t host_pages = opts.working_set_pages * 4 / 3;
+        const uint64_t raw_pages =
+            static_cast<uint64_t>(host_pages / (1.0 - 0.20)) + 1;
+        const uint64_t blocks =
+            ceilDiv(raw_pages, cfg.geometry.pages_per_block);
+        cfg.geometry.blocks_per_channel = static_cast<uint32_t>(
+            std::max<uint64_t>(8,
+                               ceilDiv(blocks, cfg.geometry.num_channels)));
+    }
 
     cfg.ftl = ftl;
     cfg.gamma = gamma;
-    cfg.dram_bytes =
-        opts.dram_bytes > 0
-            ? opts.dram_bytes
-            : std::max<uint64_t>(128ull << 10, opts.working_set_pages *
-                                                   kMapEntryBytes / 2);
-    cfg.write_buffer_bytes = 8ull << 20;
+    if (opts.dram_bytes > 0)
+        cfg.dram_bytes = opts.dram_bytes;
+    else if (preset)
+        cfg.dram_bytes = preset->dram_bytes;
+    else
+        cfg.dram_bytes = std::max<uint64_t>(
+            128ull << 10, opts.working_set_pages * kMapEntryBytes / 2);
+    cfg.write_buffer_bytes =
+        preset ? preset->write_buffer_bytes : 8ull << 20;
+    // Paper: compaction every 1M writes on a 512M-page device. Preset
+    // devices scale the interval with their fixed geometry (so every
+    // row of a --device sweep compacts at the same relative
+    // frequency); ws-derived ones scale with the working set.
     cfg.compaction_interval =
-        std::max<uint64_t>(opts.working_set_pages / 8, 2048);
+        preset ? std::max<uint64_t>(cfg.geometry.totalPages() / 512, 2048)
+               : std::max<uint64_t>(opts.working_set_pages / 8, 2048);
     return cfg;
 }
 
 std::string
 csvHeader()
 {
+    // The device column is appended last so every pre-existing column
+    // keeps its index (downstream scripts parse by position).
     return "ftl,workload,gamma,qd,requests,pages,sim_seconds,"
            "throughput_mbps,avg_lat_us,avg_read_lat_us,p50_read_lat_us,"
            "p99_read_lat_us,avg_write_lat_us,mapping_bytes,resident_bytes,"
            "waf,mispredict_ratio,cache_hit_ratio,avg_lookup_levels,"
-           "avg_queue_wait_us,mean_inflight";
+           "avg_queue_wait_us,mean_inflight,device";
 }
 
 std::string
 csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
-       const SsdConfig &cfg)
+       const SsdConfig &cfg, const std::string &device)
 {
     const double sim_s =
         static_cast<double>(res.sim_time_ns) / static_cast<double>(kSecond);
@@ -511,7 +559,8 @@ csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
         << res.resident_bytes << ',' << fmt(res.waf) << ','
         << fmt(res.mispredict_ratio) << ',' << fmt(res.cache_hit_ratio)
         << ',' << fmt(res.avg_lookup_levels) << ','
-        << fmt(res.avg_queue_wait_us) << ',' << fmt(res.mean_inflight);
+        << fmt(res.avg_queue_wait_us) << ',' << fmt(res.mean_inflight)
+        << ',' << device;
     return row.str();
 }
 
@@ -545,31 +594,39 @@ runSweep(const SimOptions &opts, std::ostream &out)
         std::string spec;
         uint32_t gamma;
         uint32_t qd;
+        std::string device;
     };
     struct Row
     {
         FtlKind ftl;
         std::string spec;
         uint32_t gamma;
+        std::string device;
         size_t task;
     };
     constexpr uint32_t kAnyGamma = 0xFFFFFFFFu;
     std::vector<Task> tasks;
     std::vector<Row> rows;
-    std::map<std::tuple<int, std::string, uint32_t, uint32_t>, size_t> seen;
+    std::map<std::tuple<int, std::string, std::string, uint32_t, uint32_t>,
+             size_t>
+        seen;
     for (const FtlKind ftl : opts.ftls) {
         for (const std::string &spec : opts.workloads) {
-            for (const uint32_t gamma : opts.gammas) {
-                for (const uint32_t qd : opts.queue_depths) {
-                    const bool gamma_sensitive = ftl == FtlKind::LeaFTL;
-                    const auto key = std::make_tuple(
-                        static_cast<int>(ftl), spec,
-                        gamma_sensitive ? gamma : kAnyGamma, qd);
-                    const auto [it, inserted] =
-                        seen.emplace(key, tasks.size());
-                    if (inserted)
-                        tasks.push_back({ftl, spec, gamma, qd});
-                    rows.push_back({ftl, spec, gamma, it->second});
+            for (const std::string &device : opts.devices) {
+                for (const uint32_t gamma : opts.gammas) {
+                    for (const uint32_t qd : opts.queue_depths) {
+                        const bool gamma_sensitive =
+                            ftl == FtlKind::LeaFTL;
+                        const auto key = std::make_tuple(
+                            static_cast<int>(ftl), spec, device,
+                            gamma_sensitive ? gamma : kAnyGamma, qd);
+                        const auto [it, inserted] =
+                            seen.emplace(key, tasks.size());
+                        if (inserted)
+                            tasks.push_back({ftl, spec, gamma, qd, device});
+                        rows.push_back({ftl, spec, gamma, device,
+                                        it->second});
+                    }
                 }
             }
         }
@@ -600,12 +657,12 @@ runSweep(const SimOptions &opts, std::ostream &out)
                     std::cerr << "leaftl_sim: running "
                               << ftlKindName(t.ftl) << " / " << t.spec
                               << " / gamma=" << t.gamma << " / qd=" << t.qd
-                              << " ...\n";
+                              << " / device=" << t.device << " ...\n";
                 }
                 std::string err;
                 auto wl = makeWorkload(t.spec, opts, err, &trace_cache);
                 if (wl) {
-                    Ssd ssd(makeConfig(t.ftl, t.gamma, opts));
+                    Ssd ssd(makeConfig(t.ftl, t.gamma, opts, t.device));
                     RunOptions ropts;
                     ropts.prefill_pages = static_cast<uint64_t>(
                         opts.prefill_frac * opts.working_set_pages);
@@ -648,8 +705,11 @@ runSweep(const SimOptions &opts, std::ostream &out)
             rc = 1;
             break;
         }
-        const SsdConfig cfg = makeConfig(row.ftl, row.gamma, opts);
-        out << csvRow(results[row.task], row.ftl, row.gamma, cfg) << '\n';
+        const SsdConfig cfg =
+            makeConfig(row.ftl, row.gamma, opts, row.device);
+        out << csvRow(results[row.task], row.ftl, row.gamma, cfg,
+                      row.device)
+            << '\n';
         out.flush();
     }
     for (auto &th : pool)
@@ -673,6 +733,9 @@ simMain(int argc, const char *const *argv)
     if (opts.list) {
         for (const auto &w : knownWorkloads())
             std::cout << w << '\n';
+        for (const auto &p : devicePresets())
+            std::cout << "device:" << p.name << "  (" << p.description
+                      << ")\n";
         return 0;
     }
 

@@ -2,8 +2,8 @@
  * @file
  * The `leaftl_sim` comparison driver: one reproducible entry point
  * that composes Runner, Ssd, the three FTLs, and any workload source,
- * sweeps gamma and queue depth, and emits one CSV row per
- * (ftl, workload, gamma, qd) combination. The paper's figures (and
+ * sweeps gamma, queue depth, and device preset, and emits one CSV row
+ * per (ftl, workload, gamma, qd, device) combination. The paper's figures (and
  * future scaling experiments) are sweeps over exactly this cross
  * product. Combinations are independent, so the sweep fans out over a
  * small thread pool (--jobs); rows are always emitted in combination
@@ -53,6 +53,14 @@ struct SimOptions
 
     /** Queue-depth sweep (outstanding host requests per run). */
     std::vector<uint32_t> queue_depths = {1};
+
+    /**
+     * Device sweep: "auto" (geometry derived from the working set,
+     * the historical behavior) or a named preset from
+     * flash/presets.hh (tiny, paper, paper-2tb). LPAs wrap modulo the
+     * device's host capacity, so one workload compares devices fairly.
+     */
+    std::vector<std::string> devices = {"auto"};
 
     /** Worker threads for the sweep; 0 = hardware concurrency. */
     unsigned jobs = 0;
@@ -110,15 +118,20 @@ std::unique_ptr<WorkloadSource> makeWorkload(const std::string &spec,
                                              std::string &err,
                                              TraceCache *trace_cache = nullptr);
 
-/** Device config for one run of the sweep (scaled paper Table 1). */
-SsdConfig makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts);
+/**
+ * Device config for one run of the sweep. @a device is "auto"
+ * (geometry derived from the working set, scaled paper Table 1) or a
+ * preset name; --dram-mb overrides either's DRAM budget.
+ */
+SsdConfig makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts,
+                     const std::string &device = "auto");
 
 /** CSV column header row (no trailing newline). */
 std::string csvHeader();
 
 /** One CSV data row for a finished run (no trailing newline). */
 std::string csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
-                   const SsdConfig &cfg);
+                   const SsdConfig &cfg, const std::string &device = "auto");
 
 /**
  * Run the whole sweep on opts.jobs worker threads and write the CSV

@@ -14,12 +14,20 @@
  * one buffer flush and is immutable until erased, the neighbor LPAs at
  * read time equal those at write time, so the array serves OOB queries
  * from the per-page LPA store instead of duplicating them per page.
+ *
+ * Memory model: the per-page LPA store is sparse at block granularity.
+ * A block's LPA array is allocated on its first program and released
+ * on erase, so resident memory is O(totalBlocks + live blocks * pages
+ * per block), not O(totalPages). A freshly constructed paper-scale
+ * (2 TB, ~512M page) array therefore costs megabytes, not gigabytes,
+ * and a mostly-empty device stays cheap for its whole lifetime.
  */
 
 #ifndef LEAFTL_FLASH_FLASH_ARRAY_HH
 #define LEAFTL_FLASH_FLASH_ARRAY_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "flash/geometry.hh"
@@ -74,6 +82,14 @@ class FlashArray
      */
     std::vector<Lpa> oobWindow(Ppa ppa, uint32_t gamma) const;
 
+    /**
+     * Same window, written into a caller-provided scratch buffer
+     * (resized to 2*g + 1). The misprediction-recovery hot path calls
+     * this once per approximate translation; reusing one buffer there
+     * avoids a heap allocation per lookup.
+     */
+    void oobWindow(Ppa ppa, uint32_t gamma, std::vector<Lpa> &window) const;
+
     /** Erase a block, resetting its pages and bumping its wear. */
     void eraseBlock(uint32_t block);
 
@@ -84,11 +100,29 @@ class FlashArray
     const FlashCounters &counters() const { return counters_; }
     void resetCounters() { counters_ = FlashCounters{}; }
 
+    /** Blocks whose LPA array is currently materialized. */
+    size_t residentBlocks() const { return resident_blocks_; }
+
+    /**
+     * Bytes of the page-LPA store currently resident: the fixed
+     * per-block tables plus one LPA array per materialized block.
+     * This is the quantity the paper-scale smoke tests bound.
+     */
+    uint64_t residentBytes() const;
+
   private:
+    /** LPA array of @a block, or nullptr while it is unmaterialized. */
+    const Lpa *blockStore(uint32_t block) const
+    {
+        return block_lpa_[block].get();
+    }
+
     Geometry geom_;
-    std::vector<Lpa> page_lpa_;        ///< Per page.
+    /** Per block: LPA per page, allocated on first program (sparse). */
+    std::vector<std::unique_ptr<Lpa[]>> block_lpa_;
     std::vector<uint32_t> write_ptr_;  ///< Per block: next page to program.
     std::vector<uint32_t> erase_cnt_;  ///< Per block.
+    size_t resident_blocks_ = 0;
     FlashCounters counters_;
 };
 

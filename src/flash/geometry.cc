@@ -15,8 +15,14 @@ Geometry::validate() const
     const uint64_t blocks =
         static_cast<uint64_t>(num_channels) * blocks_per_channel;
     const uint64_t pages = blocks * pages_per_block;
-    LEAFTL_ASSERT(blocks <= 0xFFFFFFFFull && pages < kInvalidPpa,
-                  "geometry: PPA space overflows 32 bits");
+    LEAFTL_ASSERT(blocks <= 0xFFFFFFFFull,
+                  "geometry: block count overflows 32 bits");
+    // Any PPA at or past kTombstonePpa (0x7FFFFFFF) would silently
+    // collide with the kTombstonePpa/kInvalidPpa sentinels (and the
+    // 4-byte signed intercept of a learned segment), so the whole PPA
+    // space [0, totalPages) must stay below it.
+    LEAFTL_ASSERT(pages <= kTombstonePpa,
+                  "geometry: PPA space collides with reserved sentinels");
 }
 
 } // namespace leaftl

@@ -47,7 +47,17 @@ struct Geometry
     /** Channel serving a PPA. */
     uint32_t channelOf(Ppa ppa) const { return channelOfBlock(blockOf(ppa)); }
     /** First PPA of a block. */
-    Ppa firstPpa(uint32_t block) const { return block * pages_per_block; }
+    Ppa
+    firstPpa(uint32_t block) const
+    {
+        // Widen before multiplying: block * pages_per_block overflows
+        // uint32_t on paper-scale devices long before totalPages() does.
+        const uint64_t first =
+            static_cast<uint64_t>(block) * pages_per_block;
+        LEAFTL_ASSERT(first <= kTombstonePpa,
+                      "firstPpa does not fit a 31-bit Ppa");
+        return static_cast<Ppa>(first);
+    }
 
     /**
      * Reverse-mapping entries that fit in the OOB: each LPA takes

@@ -1,0 +1,70 @@
+#include "flash/presets.hh"
+
+namespace leaftl
+{
+
+const std::vector<DevicePreset> &
+devicePresets()
+{
+    // The paper pairs 2 TB of flash with 1 GB of device DRAM
+    // (Table 1); the scaled tiers keep roughly that 2048:1 ratio,
+    // floored where SsdConfig::validate() would reject the result.
+    static const std::vector<DevicePreset> presets = {
+        {
+            "tiny",
+            "CI-fast 32 MB device (4 ch x 32 blk x 64 pg x 4 KB)",
+            Geometry{.num_channels = 4,
+                     .blocks_per_channel = 32,
+                     .pages_per_block = 64,
+                     .page_size = 4096,
+                     .oob_size = 128},
+            256ull << 10,
+            2ull << 20,
+        },
+        {
+            "paper",
+            "Table 1 scaled ~1000x down: 4 GB device "
+            "(16 ch x 256 blk x 256 pg x 4 KB)",
+            Geometry{.num_channels = 16,
+                     .blocks_per_channel = 256,
+                     .pages_per_block = 256,
+                     .page_size = 4096,
+                     .oob_size = 128},
+            2ull << 20,
+            8ull << 20,
+        },
+        {
+            "paper-2tb",
+            "full-scale Table 1: 2 TB device, ~512M pages "
+            "(16 ch x 131072 blk x 256 pg x 4 KB)",
+            Geometry{.num_channels = 16,
+                     .blocks_per_channel = 131072,
+                     .pages_per_block = 256,
+                     .page_size = 4096,
+                     .oob_size = 128},
+            1ull << 30,
+            8ull << 20,
+        },
+    };
+    return presets;
+}
+
+std::vector<std::string>
+devicePresetNames()
+{
+    std::vector<std::string> names;
+    for (const DevicePreset &p : devicePresets())
+        names.emplace_back(p.name);
+    return names;
+}
+
+const DevicePreset *
+findDevicePreset(const std::string &name)
+{
+    for (const DevicePreset &p : devicePresets())
+        if (name == p.name)
+            return &p;
+    return nullptr;
+}
+
+} // namespace leaftl

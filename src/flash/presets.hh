@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Named device presets: canonical geometries (plus a recommended DRAM
+ * budget) that benches, the leaftl_sim --device axis, and tests share
+ * instead of each deriving their own. Three tiers:
+ *
+ *   tiny      - seconds-fast CI device (32 MB raw);
+ *   paper     - Table 1 scaled ~1000x down, the repo's default
+ *               simulation device (4 GB raw);
+ *   paper-2tb - the paper's full-scale 2 TB device (~512M pages).
+ *
+ * paper-2tb is only practical because the FlashArray page store is
+ * sparse: construction materializes O(blocks), not O(pages), so a
+ * fresh 2 TB device costs ~48 MB of metadata instead of ~2 GB of
+ * per-page LPAs.
+ */
+
+#ifndef LEAFTL_FLASH_PRESETS_HH
+#define LEAFTL_FLASH_PRESETS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flash/geometry.hh"
+
+namespace leaftl
+{
+
+/** One named device model. */
+struct DevicePreset
+{
+    const char *name;
+    const char *description;
+    Geometry geometry;
+    /**
+     * Recommended in-device DRAM for this geometry (the paper pairs
+     * 2 TB of flash with 1 GB of DRAM; smaller tiers scale that
+     * ratio). Callers may override it, e.g. to study mapping pressure.
+     */
+    uint64_t dram_bytes;
+
+    /**
+     * Recommended write (data) buffer. The paper's 8 MB default is
+     * kept where it fits; tiny devices shrink it so one buffer flush
+     * never needs more blocks than the GC free threshold guarantees.
+     */
+    uint64_t write_buffer_bytes;
+};
+
+/** All built-in presets, in size order. */
+const std::vector<DevicePreset> &devicePresets();
+
+/** Preset names, for CLI validation and --list output. */
+std::vector<std::string> devicePresetNames();
+
+/** Look up a preset by name. @return nullptr if unknown. */
+const DevicePreset *findDevicePreset(const std::string &name);
+
+} // namespace leaftl
+
+#endif // LEAFTL_FLASH_PRESETS_HH

@@ -95,8 +95,10 @@ Ssd::resolveExact(Lpa lpa, Ppa predicted, bool already_read)
     // The OOB of the predicted page names the LPAs of its in-block
     // neighbors [predicted - g, predicted + g] (§3.5); g can be
     // smaller than gamma when the OOB area cannot hold 2*gamma + 1
-    // four-byte entries.
-    const std::vector<Lpa> window = flash_.oobWindow(predicted, gamma);
+    // four-byte entries. Reuse one scratch buffer across recoveries:
+    // this path runs once per approximate translation.
+    std::vector<Lpa> &window = oob_scratch_;
+    flash_.oobWindow(predicted, gamma, window);
     const uint32_t g = (static_cast<uint32_t>(window.size()) - 1) / 2;
     for (uint32_t i = 0; i < window.size(); i++) {
         if (window[i] != lpa)

@@ -224,6 +224,9 @@ class Ssd : public FtlOps
 
     SsdStats stats_;
 
+    /** Scratch OOB window reused by resolveExact (hot path). */
+    std::vector<Lpa> oob_scratch_;
+
     /** Time cursor for the operation currently being charged. */
     Tick cur_time_ = 0;
     /** Round-robin channel for translation metadata I/O. */

@@ -1,12 +1,17 @@
 /**
  * @file
  * Tests for the NAND flash array model: program/read/erase semantics,
- * NAND ordering rules, and the OOB reverse-mapping window (§3.5).
+ * NAND ordering rules, the OOB reverse-mapping window (§3.5), and the
+ * sparse block-granular page store (residency O(live blocks), behavior
+ * identical to the dense per-page store it replaced).
  */
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "flash/flash_array.hh"
+#include "util/rng.hh"
 
 namespace leaftl
 {
@@ -128,6 +133,104 @@ TEST(FlashArray, OobWindowClampsToPhysicalEntries)
         flash.programPage(p, p);
     const auto w = flash.oobWindow(4, 10);
     EXPECT_EQ(w.size(), 5u);
+}
+
+TEST(FlashArray, OobWindowScratchOverloadMatches)
+{
+    FlashArray flash(smallGeom());
+    for (Ppa p = 0; p < 10; p++)
+        flash.programPage(p, 200 + p);
+
+    std::vector<Lpa> scratch;
+    for (Ppa ppa : {0u, 1u, 4u, 7u, 8u, 9u}) {
+        for (uint32_t gamma : {0u, 1u, 3u, 50u}) {
+            flash.oobWindow(ppa, gamma, scratch);
+            EXPECT_EQ(scratch, flash.oobWindow(ppa, gamma))
+                << "ppa=" << ppa << " gamma=" << gamma;
+        }
+    }
+    // The scratch buffer shrinks as well as grows between calls.
+    flash.oobWindow(4, 3, scratch);
+    ASSERT_EQ(scratch.size(), 7u);
+    flash.oobWindow(4, 1, scratch);
+    ASSERT_EQ(scratch.size(), 3u);
+}
+
+TEST(FlashArraySparse, ResidencyTracksLiveBlocks)
+{
+    FlashArray flash(smallGeom());
+    EXPECT_EQ(flash.residentBlocks(), 0u);
+    const uint64_t fresh = flash.residentBytes();
+
+    // Programming one page materializes exactly its block.
+    flash.programPage(0, 1);
+    EXPECT_EQ(flash.residentBlocks(), 1u);
+    EXPECT_EQ(flash.residentBytes(),
+              fresh + flash.geometry().pages_per_block * sizeof(Lpa));
+    for (Ppa p = 1; p < 8; p++)
+        flash.programPage(p, p);
+    EXPECT_EQ(flash.residentBlocks(), 1u);
+
+    flash.programPage(flash.geometry().firstPpa(3), 77);
+    EXPECT_EQ(flash.residentBlocks(), 2u);
+
+    // Erase releases the block's array; erasing a never-programmed
+    // block changes nothing.
+    flash.eraseBlock(0);
+    EXPECT_EQ(flash.residentBlocks(), 1u);
+    flash.eraseBlock(5);
+    EXPECT_EQ(flash.residentBlocks(), 1u);
+    flash.eraseBlock(3);
+    EXPECT_EQ(flash.residentBlocks(), 0u);
+    EXPECT_EQ(flash.residentBytes(), fresh);
+}
+
+TEST(FlashArraySparse, MatchesDenseSemanticsUnderProgramEraseCycles)
+{
+    // Drive random in-order program / erase / reprogram cycles against
+    // a dense reference model; every page and every OOB window must
+    // agree at every step.
+    const Geometry g = smallGeom();
+    FlashArray flash(g);
+    std::vector<Lpa> dense(g.totalPages(), kInvalidLpa);
+    std::vector<uint32_t> next_page(g.totalBlocks(), 0);
+
+    Rng rng(0xF1A5F1A5);
+    Lpa next_lpa = 1;
+    for (int step = 0; step < 2000; step++) {
+        const uint32_t block =
+            static_cast<uint32_t>(rng.nextBounded(g.totalBlocks()));
+        const bool full = next_page[block] == g.pages_per_block;
+        if (full || (next_page[block] > 0 && rng.nextBounded(8) == 0)) {
+            // Erase (forced when full so cycles keep going).
+            for (uint32_t i = 0; i < g.pages_per_block; i++)
+                dense[g.firstPpa(block) + i] = kInvalidLpa;
+            next_page[block] = 0;
+            flash.eraseBlock(block);
+        } else {
+            const Ppa ppa = g.firstPpa(block) + next_page[block];
+            dense[ppa] = next_lpa;
+            flash.programPage(ppa, next_lpa);
+            next_page[block]++;
+            next_lpa++;
+        }
+
+        // Full-array sweep (the device is 64 pages).
+        for (Ppa p = 0; p < g.totalPages(); p++)
+            ASSERT_EQ(flash.peekLpa(p), dense[p]) << "step " << step;
+        // Spot-check an OOB window against the dense model.
+        const Ppa probe = static_cast<Ppa>(rng.nextBounded(g.totalPages()));
+        const auto w = flash.oobWindow(probe, 2);
+        for (uint32_t i = 0; i < w.size(); i++) {
+            const int64_t p = static_cast<int64_t>(probe) - 2 + i;
+            const Ppa first = g.firstPpa(g.blockOf(probe));
+            const bool in_block =
+                p >= first && p < first + g.pages_per_block;
+            ASSERT_EQ(w[i], in_block ? dense[static_cast<Ppa>(p)]
+                                     : kInvalidLpa)
+                << "step " << step;
+        }
+    }
 }
 
 TEST(ChannelGeometry, RoundRobinStriping)

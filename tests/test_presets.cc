@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Device presets and paper-scale behavior: preset lookup, the
+ * geometry-sentinel validation (PPA space must stay clear of the
+ * kTombstonePpa/kInvalidPpa sentinels), the 64-bit firstPpa widening,
+ * and the paper-2tb construction smoke proving the sparse flash store
+ * allocates O(blocks), not O(pages), up front.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flash/flash_array.hh"
+#include "flash/presets.hh"
+#include "ssd/config.hh"
+
+namespace leaftl
+{
+namespace
+{
+
+TEST(DevicePresets, LookupAndNames)
+{
+    const auto names = devicePresetNames();
+    ASSERT_EQ(names.size(), devicePresets().size());
+    for (const char *expected : {"tiny", "paper", "paper-2tb"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+        const DevicePreset *p = findDevicePreset(expected);
+        ASSERT_NE(p, nullptr) << expected;
+        EXPECT_EQ(std::string(p->name), expected);
+        // Every preset must be a valid, simulatable device.
+        p->geometry.validate();
+        SsdConfig cfg;
+        cfg.geometry = p->geometry;
+        cfg.dram_bytes = p->dram_bytes;
+        cfg.write_buffer_bytes = p->write_buffer_bytes;
+        cfg.validate();
+    }
+    EXPECT_EQ(findDevicePreset("paper-4tb"), nullptr);
+    EXPECT_EQ(findDevicePreset(""), nullptr);
+}
+
+TEST(DevicePresets, PaperScaleCapacities)
+{
+    const DevicePreset *paper = findDevicePreset("paper");
+    ASSERT_NE(paper, nullptr);
+    EXPECT_EQ(paper->geometry.capacityBytes(), 4ull << 30);
+
+    const DevicePreset *big = findDevicePreset("paper-2tb");
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(big->geometry.capacityBytes(), 2048ull << 30);
+    EXPECT_EQ(big->geometry.totalPages(), 512ull << 20);
+    // The full-scale PPA space must stay clear of the sentinels.
+    EXPECT_LE(big->geometry.totalPages(), kTombstonePpa);
+}
+
+TEST(DevicePresets, Paper2TbConstructionStaysBlockGranular)
+{
+    // The headline of the sparse store: a freshly constructed 2 TB
+    // array allocates O(blocks) (~48 MB of per-block tables), not the
+    // ~2 GB dense per-page LPA vector it replaced.
+    const Geometry geom = findDevicePreset("paper-2tb")->geometry;
+    FlashArray flash(geom);
+
+    EXPECT_EQ(flash.residentBlocks(), 0u);
+    const uint64_t fresh = flash.residentBytes();
+    const uint64_t dense = geom.totalPages() * sizeof(Lpa); // ~2 GB.
+    EXPECT_LT(fresh, 64ull << 20);
+    EXPECT_LT(fresh * 16, dense);
+
+    // Touching two far-apart blocks materializes exactly those two.
+    flash.programPage(geom.firstPpa(0), 42);
+    flash.programPage(geom.firstPpa(geom.totalBlocks() - 1), 43);
+    EXPECT_EQ(flash.residentBlocks(), 2u);
+    EXPECT_EQ(flash.residentBytes(),
+              fresh + 2ull * geom.pages_per_block * sizeof(Lpa));
+    EXPECT_EQ(flash.peekLpa(geom.firstPpa(0)), 42u);
+    EXPECT_EQ(flash.peekLpa(geom.firstPpa(geom.totalBlocks() - 1)), 43u);
+    // Pages of untouched blocks read as unwritten without allocating.
+    EXPECT_EQ(flash.peekLpa(geom.firstPpa(geom.totalBlocks() / 2)),
+              kInvalidLpa);
+    EXPECT_EQ(flash.residentBlocks(), 2u);
+
+    flash.eraseBlock(0);
+    flash.eraseBlock(geom.totalBlocks() - 1);
+    EXPECT_EQ(flash.residentBlocks(), 0u);
+    EXPECT_EQ(flash.residentBytes(), fresh);
+}
+
+TEST(GeometryDeath, PpaSpaceCollidingWithSentinelsAborts)
+{
+    // 1 ch x 8388608 blk x 256 pg = 2^31 pages: PPA 0x7FFFFFFF would
+    // alias kTombstonePpa, so validate() must reject the geometry.
+    Geometry g;
+    g.num_channels = 1;
+    g.blocks_per_channel = 8u << 20;
+    g.pages_per_block = 256;
+    EXPECT_DEATH(g.validate(), "sentinel");
+
+    // One page less than 2^31 is representable and sentinel-free.
+    g.blocks_per_channel = (8u << 20) - 1;
+    g.validate();
+    EXPECT_EQ(g.totalPages(), (1ull << 31) - 256);
+}
+
+TEST(GeometryDeath, FirstPpaWidensBeforeNarrowing)
+{
+    // With 256 pages per block, block 20M's first PPA is ~5.1G: it
+    // must abort (pre-widening it silently wrapped modulo 2^32).
+    const Geometry geom = findDevicePreset("paper-2tb")->geometry;
+    EXPECT_DEATH(geom.firstPpa(20u << 20), "fit");
+    // The last valid block of the 2 TB device is fine.
+    EXPECT_EQ(geom.firstPpa(geom.totalBlocks() - 1),
+              geom.totalPages() - geom.pages_per_block);
+}
+
+} // namespace
+} // namespace leaftl

@@ -73,6 +73,41 @@ TEST(SimCliParse, QueueDepthAndJobs)
     }
 }
 
+TEST(SimCliParse, DeviceAxis)
+{
+    const SimOptions defaults = parse({});
+    EXPECT_EQ(defaults.devices, (std::vector<std::string>{"auto"}));
+
+    const SimOptions opts = parse({"--device", "auto,tiny,paper-2tb"});
+    EXPECT_EQ(opts.devices,
+              (std::vector<std::string>{"auto", "tiny", "paper-2tb"}));
+
+    SimOptions bad;
+    std::string err;
+    {
+        const char *argv[] = {"leaftl_sim", "--device", "paper-4tb"};
+        EXPECT_FALSE(parseArgs(3, argv, bad, err));
+        EXPECT_NE(err.find("paper-4tb"), std::string::npos);
+    }
+}
+
+TEST(SimCliConfig, DevicePresetOverridesDerivedGeometry)
+{
+    SimOptions opts;
+    opts.working_set_pages = 2048;
+
+    const SsdConfig derived = makeConfig(FtlKind::LeaFTL, 0, opts, "auto");
+    const SsdConfig tiny = makeConfig(FtlKind::LeaFTL, 0, opts, "tiny");
+    EXPECT_EQ(tiny.geometry.num_channels, 4u);
+    EXPECT_EQ(tiny.geometry.pages_per_block, 64u);
+    EXPECT_NE(tiny.geometry.totalPages(), derived.geometry.totalPages());
+
+    // --dram-mb still overrides the preset's recommended budget.
+    opts.dram_bytes = 32ull << 20;
+    const SsdConfig forced = makeConfig(FtlKind::LeaFTL, 0, opts, "tiny");
+    EXPECT_EQ(forced.dram_bytes, 32ull << 20);
+}
+
 TEST(SimCliParse, ListsAndEqualsSyntax)
 {
     const SimOptions opts =
@@ -230,6 +265,37 @@ TEST(SimCliSweep, QueueDepthAxisEmitsOneRowEach)
         qds.push_back(cell);
     }
     EXPECT_EQ(qds, (std::vector<std::string>{"1", "4"}));
+}
+
+TEST(SimCliSweep, DeviceAxisEmitsOneRowEachWithTrailingColumn)
+{
+    SimOptions opts;
+    opts.ftls = {FtlKind::LeaFTL};
+    opts.workloads = {"synthetic:seq"};
+    opts.gammas = {0};
+    opts.devices = {"auto", "tiny"};
+    opts.requests = 300;
+    opts.working_set_pages = 2048;
+    opts.prefill_frac = 0.25;
+    opts.jobs = 1;
+
+    std::ostringstream out;
+    ASSERT_EQ(runSweep(opts, out), 0);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    // device is the LAST column so pre-existing column indices hold.
+    ASSERT_GE(line.size(), 7u);
+    EXPECT_EQ(line.substr(line.size() - 7), ",device");
+
+    std::vector<std::string> devices;
+    while (std::getline(lines, line)) {
+        const auto comma = line.rfind(',');
+        ASSERT_NE(comma, std::string::npos);
+        devices.push_back(line.substr(comma + 1));
+    }
+    EXPECT_EQ(devices, (std::vector<std::string>{"auto", "tiny"}));
 }
 
 TEST(SimCliSweep, ParallelJobsProduceIdenticalCsv)
