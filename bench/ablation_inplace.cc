@@ -12,6 +12,7 @@
  * quantities.
  */
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 

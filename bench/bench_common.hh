@@ -19,6 +19,10 @@
 #include "sim/runner.hh"
 #include "sim/reporter.hh"
 #include "ssd/ssd.hh"
+// The shared host clock: every bench (and leaftl_sim's wall_ns
+// column) times the simulator with this one steady_clock wrapper
+// instead of ad-hoc chrono code.
+#include "util/host_clock.hh"
 #include "workload/app_models.hh"
 #include "workload/msr_models.hh"
 

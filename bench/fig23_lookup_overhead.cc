@@ -10,8 +10,6 @@
  *       on the host CPU against the simulated 20 us flash read.
  */
 
-#include <chrono>
-
 #include "bench_common.hh"
 #include "learned/learned_table.hh"
 #include "util/rng.hh"
@@ -53,17 +51,15 @@ main(int argc, char **argv)
         const uint64_t ws = scale.working_set_pages;
         const int probes = 200000;
         volatile uint64_t sink = 0;
-        const auto t0 = std::chrono::steady_clock::now();
+        HostTimer timer;
         for (int p = 0; p < probes; p++) {
             const auto r =
                 lt->lookup(static_cast<Lpa>(rng.nextBounded(ws)));
             if (r)
                 sink = sink + r->ppa;
         }
-        const auto t1 = std::chrono::steady_clock::now();
         const double ns =
-            std::chrono::duration<double, std::nano>(t1 - t0).count() /
-            probes;
+            static_cast<double>(timer.elapsedNs()) / probes;
         tb.addRow({msrWorkloadNames()[i], TextTable::fmt(ns, 1),
                    TextTable::fmt(100.0 * ns / 20000.0, 3)});
     }

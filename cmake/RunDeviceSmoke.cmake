@@ -35,17 +35,18 @@ if(NOT n_lines EQUAL 3)
 endif()
 
 list(GET sim_lines 0 header)
-if(NOT header MATCHES ",device$")
-    message(FATAL_ERROR "CSV header lacks the device column: ${header}")
+if(NOT header MATCHES ",device,wall_ns$")
+    message(FATAL_ERROR
+        "CSV header lacks the device/wall_ns columns: ${header}")
 endif()
 
 list(GET sim_lines 1 row_auto)
-if(NOT row_auto MATCHES ",auto$")
+if(NOT row_auto MATCHES ",auto,[0-9]+$")
     message(FATAL_ERROR "first row is not the auto device: ${row_auto}")
 endif()
 
 list(GET sim_lines 2 row_big)
-if(NOT row_big MATCHES ",paper-2tb$")
+if(NOT row_big MATCHES ",paper-2tb,[0-9]+$")
     message(FATAL_ERROR "second row is not paper-2tb: ${row_big}")
 endif()
 

@@ -15,6 +15,7 @@
 
 #include "flash/presets.hh"
 #include "sim/runner.hh"
+#include "util/host_clock.hh"
 #include "ssd/ssd.hh"
 #include "workload/app_models.hh"
 #include "workload/msr_models.hh"
@@ -528,13 +529,15 @@ makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts,
 std::string
 csvHeader()
 {
-    // The device column is appended last so every pre-existing column
-    // keeps its index (downstream scripts parse by position).
+    // New columns are appended last so every pre-existing column keeps
+    // its index (downstream scripts parse by position). wall_ns is the
+    // host wall-clock time of the run -- the only nondeterministic
+    // column, kept trailing so the rest of a row is reproducible.
     return "ftl,workload,gamma,qd,requests,pages,sim_seconds,"
            "throughput_mbps,avg_lat_us,avg_read_lat_us,p50_read_lat_us,"
            "p99_read_lat_us,avg_write_lat_us,mapping_bytes,resident_bytes,"
            "waf,mispredict_ratio,cache_hit_ratio,avg_lookup_levels,"
-           "avg_queue_wait_us,mean_inflight,device";
+           "avg_queue_wait_us,mean_inflight,device,wall_ns";
 }
 
 std::string
@@ -560,7 +563,7 @@ csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
         << fmt(res.mispredict_ratio) << ',' << fmt(res.cache_hit_ratio)
         << ',' << fmt(res.avg_lookup_levels) << ','
         << fmt(res.avg_queue_wait_us) << ',' << fmt(res.mean_inflight)
-        << ',' << device;
+        << ',' << device << ',' << res.host_wall_ns;
     return row.str();
 }
 
@@ -668,7 +671,9 @@ runSweep(const SimOptions &opts, std::ostream &out)
                         opts.prefill_frac * opts.working_set_pages);
                     ropts.mixed_prefill = true;
                     ropts.queue_depth = t.qd;
+                    HostTimer timer;
                     results[i] = Runner::replay(ssd, *wl, ropts);
+                    results[i].host_wall_ns = timer.elapsedNs();
                 } else {
                     errors[i] = err;
                 }

@@ -34,6 +34,7 @@ Crb::insertRun(SegId id, const std::vector<uint8_t> &offs,
         LEAFTL_ASSERT(it != runs_.end(), "CRB owner index out of sync");
         auto &vec = it->second;
         vec.erase(std::remove(vec.begin(), vec.end(), off), vec.end());
+        stored_offs_--; // Offsets are unique per run: exactly one gone.
         if (vec.empty()) {
             runs_.erase(it);
             emptied.push_back(old);
@@ -41,6 +42,7 @@ Crb::insertRun(SegId id, const std::vector<uint8_t> &offs,
     }
 
     runs_[id] = offs;
+    stored_offs_ += offs.size();
     for (uint8_t off : offs)
         owner_[off] = id;
 }
@@ -62,6 +64,7 @@ Crb::removeOffsets(SegId id, const std::vector<uint8_t> &offs)
         if (owner_[off] != id)
             continue;
         vec.erase(std::remove(vec.begin(), vec.end(), off), vec.end());
+        stored_offs_--;
         owner_[off] = kNoSeg;
     }
     if (vec.empty()) {
@@ -76,6 +79,7 @@ Crb::restoreRun(SegId id, const std::vector<uint8_t> &offs)
 {
     LEAFTL_ASSERT(runs_.find(id) == runs_.end(), "CRB id reused");
     runs_[id] = offs;
+    stored_offs_ += offs.size();
     for (uint8_t off : offs) {
         LEAFTL_ASSERT(owner_[off] == kNoSeg,
                       "restored CRB runs must be disjoint");
@@ -93,6 +97,7 @@ Crb::removeRun(SegId id)
         if (owner_[off] == id)
             owner_[off] = kNoSeg;
     }
+    stored_offs_ -= it->second.size();
     runs_.erase(it);
 }
 
@@ -110,13 +115,13 @@ Crb::head(SegId id) const
     return r.empty() ? 0 : r.front();
 }
 
-size_t
-Crb::sizeBytes() const
+void
+Crb::checkAccounting() const
 {
-    size_t bytes = 0;
+    size_t offs = 0;
     for (const auto &[id, vec] : runs_)
-        bytes += vec.size() + 1;
-    return bytes;
+        offs += vec.size();
+    LEAFTL_ASSERT(offs == stored_offs_, "CRB size accounting out of sync");
 }
 
 } // namespace leaftl

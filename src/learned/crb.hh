@@ -87,14 +87,21 @@ class Crb
 
     /**
      * Memory footprint in bytes using the paper's accounting: one byte
-     * per offset plus a one-byte separator per run.
+     * per offset plus a one-byte separator per run. Maintained
+     * incrementally, so this is an O(1) read on the learn hot path
+     * and in every reporter tick.
      */
-    size_t sizeBytes() const;
+    size_t sizeBytes() const { return stored_offs_ + runs_.size(); }
+
+    /** Verify the incremental accounting against a full walk (tests). */
+    void checkAccounting() const;
 
   private:
     std::map<SegId, std::vector<uint8_t>> runs_;
     /** Reverse index: offset -> owning approximate segment. */
     SegId owner_[kGroupSpan];
+    /** Total offsets across all runs (incremental sizeBytes). */
+    size_t stored_offs_ = 0;
 };
 
 } // namespace leaftl

@@ -39,10 +39,11 @@ Group::hasLpa(const SegEntry &e, uint8_t off) const
     return e.seg.hasLpaAccurate(off);
 }
 
-Bitmap
-Group::bitmapOf(const SegEntry &e, uint8_t start, uint8_t end) const
+void
+Group::segmentBits(const SegEntry &e, uint8_t start, uint8_t end,
+                   Bitmap &bm) const
 {
-    Bitmap bm(static_cast<uint32_t>(end - start) + 1);
+    bm.resize(static_cast<uint32_t>(end - start) + 1);
     if (e.seg.approximate()) {
         for (uint8_t off : crb_.run(e.id)) {
             if (off >= start && off <= end)
@@ -57,7 +58,6 @@ Group::bitmapOf(const SegEntry &e, uint8_t start, uint8_t end) const
                 break;
         }
     }
-    return bm;
 }
 
 void
@@ -69,14 +69,15 @@ Group::insertSorted(Level &level, const SegEntry &entry)
             return a.seg.slpa() < b.seg.slpa();
         });
     level.segs.insert(it, entry);
+    countInsert(entry);
 }
 
-std::vector<SegEntry>
+void
 Group::mergeVictims(size_t level_idx, const SegEntry &entry,
-                    bool detach_conflicts)
+                    bool detach_conflicts, MergeScratch &scratch)
 {
     Level &level = levels_[level_idx];
-    std::vector<SegEntry> conflicts;
+    scratch.conflicts.clear();
 
     // Locate the window of victims whose ranges intersect the entry.
     size_t i = 0;
@@ -93,16 +94,18 @@ Group::mergeVictims(size_t level_idx, const SegEntry &entry,
             std::min(entry.seg.slpa(), victim.seg.slpa());
         const uint8_t end =
             std::max(entry.seg.endOff(), victim.seg.endOff());
-        const Bitmap bm_new = bitmapOf(entry, start, end);
-        Bitmap bm_old = bitmapOf(victim, start, end);
+        segmentBits(entry, start, end, scratch.bm_new);
+        segmentBits(victim, start, end, scratch.bm_old);
+        Bitmap &bm_new = scratch.bm_new;
+        Bitmap &bm_old = scratch.bm_old;
 
         // For approximate victims the CRB insert already stole the
         // overwritten offsets, so the subtraction is mostly a no-op
         // there; accurate victims are trimmed here.
-        std::vector<uint8_t> stolen;
+        scratch.stolen.clear();
         for (uint32_t b = 0; b < bm_old.size(); b++) {
             if (bm_old.test(b) && bm_new.test(b))
-                stolen.push_back(static_cast<uint8_t>(start + b));
+                scratch.stolen.push_back(static_cast<uint8_t>(start + b));
         }
         bm_old.subtract(bm_new);
 
@@ -110,6 +113,7 @@ Group::mergeVictims(size_t level_idx, const SegEntry &entry,
             // Victim fully superseded: remove it (Algorithm 1 l.11-12).
             if (victim.seg.approximate())
                 crb_.removeRun(victim.id);
+            countErase(victim);
             level.segs.erase(level.segs.begin() + i);
             continue;
         }
@@ -118,21 +122,21 @@ Group::mergeVictims(size_t level_idx, const SegEntry &entry,
         const uint8_t first = static_cast<uint8_t>(start + bm_old.firstSet());
         const uint8_t last = static_cast<uint8_t>(start + bm_old.lastSet());
         victim.seg.trim(first, last);
-        if (victim.seg.approximate() && !stolen.empty())
-            crb_.removeOffsets(victim.id, stolen);
+        if (victim.seg.approximate() && !scratch.stolen.empty())
+            crb_.removeOffsets(victim.id, scratch.stolen);
 
         if (entry.seg.overlaps(victim.seg)) {
             // Range still interleaves: the victim cannot share a sorted
             // run with the entry (Algorithm 1 lines 13-16).
-            conflicts.push_back(victim);
+            scratch.conflicts.push_back(victim);
             if (detach_conflicts) {
+                countErase(victim);
                 level.segs.erase(level.segs.begin() + i);
                 continue;
             }
         }
         i++;
     }
-    return conflicts;
 }
 
 void
@@ -163,50 +167,50 @@ Group::pushVictimDown(size_t from_level, const SegEntry &victim)
 }
 
 void
-Group::insertAt(size_t level_idx, const SegEntry &entry)
+Group::insertAt(size_t level_idx, const SegEntry &entry,
+                MergeScratch &scratch)
 {
     while (levels_.size() <= level_idx)
         levels_.emplace_back();
 
-    std::vector<SegEntry> conflicts =
-        mergeVictims(level_idx, entry, /*detach_conflicts=*/true);
-    // Pop detached victims below. Iterate in reverse so that earlier
-    // (left-most) victims end up searched first; order within the new
-    // level is restored by sorted insertion anyway.
-    for (const SegEntry &victim : conflicts)
+    mergeVictims(level_idx, entry, /*detach_conflicts=*/true, scratch);
+    // Pop detached victims below. Order within the new level is
+    // restored by sorted insertion. pushVictimDown never merges, so
+    // scratch.conflicts is stable across the loop.
+    for (const SegEntry &victim : scratch.conflicts)
         pushVictimDown(level_idx, victim);
 
     insertSorted(levels_[level_idx], entry);
 }
 
 bool
-Group::tryInsertAt(size_t level_idx, const SegEntry &entry)
+Group::tryInsertAt(size_t level_idx, const SegEntry &entry,
+                   MergeScratch &scratch)
 {
-    std::vector<SegEntry> conflicts =
-        mergeVictims(level_idx, entry, /*detach_conflicts=*/false);
-    if (!conflicts.empty())
+    mergeVictims(level_idx, entry, /*detach_conflicts=*/false, scratch);
+    if (!scratch.conflicts.empty())
         return false;
     insertSorted(levels_[level_idx], entry);
     return true;
 }
 
 void
-Group::update(const FittedSegment &fs)
+Group::update(const FittedSegment &fs, MergeScratch &scratch)
 {
     SegEntry entry;
     entry.seg = fs.seg;
 
     if (fs.seg.approximate()) {
         entry.id = next_id_++;
-        std::vector<Crb::SegId> emptied;
-        crb_.insertRun(entry.id, fs.offs, emptied);
+        scratch.emptied.clear();
+        crb_.insertRun(entry.id, fs.offs, scratch.emptied);
         // Runs emptied by deduplication belong to fully superseded
         // approximate segments; drop them wherever they live.
-        for (Crb::SegId dead : emptied)
+        for (Crb::SegId dead : scratch.emptied)
             removeSegmentById(dead);
     }
 
-    insertAt(0, entry);
+    insertAt(0, entry, scratch);
 }
 
 void
@@ -215,6 +219,7 @@ Group::removeSegmentById(Crb::SegId id)
     for (Level &level : levels_) {
         for (size_t i = 0; i < level.segs.size(); i++) {
             if (level.segs[i].id == id) {
+                countErase(level.segs[i]);
                 level.segs.erase(level.segs.begin() + i);
                 return;
             }
@@ -223,8 +228,10 @@ Group::removeSegmentById(Crb::SegId id)
 }
 
 std::optional<GroupLookup>
-Group::lookup(uint8_t off) const
+Group::lookup(uint8_t off, const SegEntry **top_hit) const
 {
+    if (top_hit)
+        *top_hit = nullptr;
     for (size_t li = 0; li < levels_.size(); li++) {
         const int idx = findCovering(levels_[li].segs, off);
         if (idx < 0)
@@ -236,13 +243,15 @@ Group::lookup(uint8_t off) const
         res.ppa = e.seg.predict(off);
         res.approximate = e.seg.approximate();
         res.levels_visited = static_cast<uint32_t>(li + 1);
+        if (top_hit && li == 0)
+            *top_hit = &e;
         return res;
     }
     return std::nullopt;
 }
 
 void
-Group::compact()
+Group::compact(MergeScratch &scratch)
 {
     // Phase 1: subtract every newer segment's members from every
     // older segment below it (the paper's seg_update-into-lower-level
@@ -254,20 +263,24 @@ Group::compact()
         for (size_t i = 0; i < levels_[li].segs.size(); i++) {
             const SegEntry entry = levels_[li].segs[i];
             for (size_t lj = li + 1; lj < levels_.size(); lj++)
-                mergeVictims(lj, entry, /*detach_conflicts=*/false);
+                mergeVictims(lj, entry, /*detach_conflicts=*/false,
+                             scratch);
         }
     }
 
     // Phase 2: sink segments downward wherever no range conflict
     // remains; interleaved member-disjoint segments stay on their
-    // levels (they cannot share a sorted run).
+    // levels (they cannot share a sorted run). The merge only touches
+    // the level below, so the entry can be sunk before its upper-level
+    // copy is erased.
     for (size_t li = 0; li + 1 < levels_.size(); li++) {
         Level &upper = levels_[li];
         for (size_t i = 0; i < upper.segs.size();) {
             const SegEntry entry = upper.segs[i];
-            upper.segs.erase(upper.segs.begin() + i);
-            if (!tryInsertAt(li + 1, entry)) {
-                upper.segs.insert(upper.segs.begin() + i, entry);
+            if (tryInsertAt(li + 1, entry, scratch)) {
+                countErase(upper.segs[i]);
+                upper.segs.erase(upper.segs.begin() + i);
+            } else {
                 i++;
             }
         }
@@ -283,42 +296,6 @@ Group::dropEmptyLevels()
                                      return l.segs.empty();
                                  }),
                   levels_.end());
-}
-
-size_t
-Group::numSegments() const
-{
-    size_t n = 0;
-    for (const Level &l : levels_)
-        n += l.segs.size();
-    return n;
-}
-
-size_t
-Group::numApproximate() const
-{
-    size_t n = 0;
-    for (const Level &l : levels_) {
-        for (const SegEntry &e : l.segs)
-            n += e.seg.approximate() ? 1 : 0;
-    }
-    return n;
-}
-
-size_t
-Group::memoryBytes() const
-{
-    return numSegments() * Segment::kEncodedBytes + crb_.sizeBytes();
-}
-
-void
-Group::forEachSegment(
-    const std::function<void(const SegEntry &, size_t)> &fn) const
-{
-    for (size_t li = 0; li < levels_.size(); li++) {
-        for (const SegEntry &e : levels_[li].segs)
-            fn(e, li);
-    }
 }
 
 void
@@ -339,9 +316,12 @@ Group::restoreRaw(size_t level, const Segment &seg,
 void
 Group::checkInvariants() const
 {
+    size_t segs = 0, approx = 0;
     for (const Level &level : levels_) {
         for (size_t i = 0; i < level.segs.size(); i++) {
             const SegEntry &e = level.segs[i];
+            segs++;
+            approx += e.seg.approximate() ? 1 : 0;
             LEAFTL_ASSERT(e.seg.endOff() >= e.seg.slpa(),
                           "segment range inverted");
             if (i > 0) {
@@ -358,6 +338,9 @@ Group::checkInvariants() const
             }
         }
     }
+    LEAFTL_ASSERT(segs == num_segs_, "segment counter out of sync");
+    LEAFTL_ASSERT(approx == num_approx_, "approximate counter out of sync");
+    crb_.checkAccounting();
 }
 
 } // namespace leaftl

@@ -19,13 +19,20 @@
  * range conflict remains, reclaiming dead segments and empty levels.
  * Interleaved-but-member-disjoint segments legitimately stay on
  * separate levels (they cannot share a sorted run).
+ *
+ * Hot-path design: the merge machinery works out of a caller-provided
+ * MergeScratch (bitmaps and victim vectors reused across learns, so
+ * the steady-state learn path performs no heap allocation), segment /
+ * approximate counts are maintained incrementally (numSegments(),
+ * numApproximate() and memoryBytes() are O(1) reads), and segment
+ * visitation is a template so reporting loops pay no std::function
+ * indirection.
  */
 
 #ifndef LEAFTL_LEARNED_GROUP_HH
 #define LEAFTL_LEARNED_GROUP_HH
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -53,6 +60,21 @@ struct SegEntry
     Crb::SegId id = Crb::kNoSeg;
 };
 
+/**
+ * Reusable scratch state for the segment-merge procedure: one arena
+ * per table (or per call site) keeps the learn path allocation-free
+ * in steady state -- every buffer is cleared, never shrunk, between
+ * merges.
+ */
+struct MergeScratch
+{
+    Bitmap bm_new;                    ///< New segment's members.
+    Bitmap bm_old;                    ///< Victim's members.
+    std::vector<uint8_t> stolen;      ///< Offsets taken from a victim.
+    std::vector<SegEntry> conflicts;  ///< Range-conflicting survivors.
+    std::vector<Crb::SegId> emptied;  ///< Runs emptied by CRB dedup.
+};
+
 /** Log-structured mapping table for one 256-LPA group. */
 class Group
 {
@@ -64,26 +86,67 @@ class Group
      * topmost level). Registers approximate members in the CRB, merges
      * overlapping victims, and keeps level 0 sorted.
      */
-    void update(const FittedSegment &fs);
+    void update(const FittedSegment &fs, MergeScratch &scratch);
 
-    /** Translate a group offset; nullopt when the LPA was never learned. */
-    std::optional<GroupLookup> lookup(uint8_t off) const;
+    /** Convenience overload with a throwaway scratch (tests). */
+    void
+    update(const FittedSegment &fs)
+    {
+        MergeScratch scratch;
+        update(fs, scratch);
+    }
+
+    /**
+     * Translate a group offset; nullopt when the LPA was never learned.
+     * On a hit served by level 0, @a top_hit (when non-null) receives
+     * the serving entry -- the table's last-hit lookup cache keys on
+     * it; the pointer is valid until the next mutation of this group.
+     */
+    std::optional<GroupLookup>
+    lookup(uint8_t off, const SegEntry **top_hit = nullptr) const;
+
+    /**
+     * Full membership test: range + stride grid for accurate segments,
+     * range + CRB ownership for approximate ones (Algorithm 2,
+     * has_lpa). Public so the table's lookup cache can revalidate a
+     * remembered level-0 entry without a level scan.
+     */
+    bool hasLpa(const SegEntry &e, uint8_t off) const;
 
     /** Compact levels (Algorithm 1, seg_compact). */
-    void compact();
+    void compact(MergeScratch &scratch);
+
+    /** Convenience overload with a throwaway scratch (tests). */
+    void
+    compact()
+    {
+        MergeScratch scratch;
+        compact(scratch);
+    }
 
     size_t numLevels() const { return levels_.size(); }
-    size_t numSegments() const;
-    size_t numApproximate() const;
+    size_t numSegments() const { return num_segs_; }
+    size_t numApproximate() const { return num_approx_; }
 
-    /** Mapping memory: 8 bytes per segment plus the CRB bytes. */
-    size_t memoryBytes() const;
+    /** Mapping memory: 8 bytes per segment plus the CRB bytes (O(1)). */
+    size_t
+    memoryBytes() const
+    {
+        return num_segs_ * Segment::kEncodedBytes + crb_.sizeBytes();
+    }
 
     const Crb &crb() const { return crb_; }
 
-    /** Visit every live segment (topmost level first). */
-    void forEachSegment(
-        const std::function<void(const SegEntry &, size_t level)> &fn) const;
+    /** Visit every live segment (topmost level first): fn(entry, level). */
+    template <typename Fn>
+    void
+    forEachSegment(Fn &&fn) const
+    {
+        for (size_t li = 0; li < levels_.size(); li++) {
+            for (const SegEntry &e : levels_[li].segs)
+                fn(e, li);
+        }
+    }
 
     /** Validate internal invariants; aborts on violation (tests). */
     void checkInvariants() const;
@@ -103,32 +166,34 @@ class Group
         std::vector<SegEntry> segs; ///< Sorted by S, non-overlapping.
     };
 
-    bool hasLpa(const SegEntry &e, uint8_t off) const;
-    Bitmap bitmapOf(const SegEntry &e, uint8_t start, uint8_t end) const;
+    /** Reconstruct a segment's members over [start, end] into @a bm. */
+    void segmentBits(const SegEntry &e, uint8_t start, uint8_t end,
+                     Bitmap &bm) const;
 
     /**
      * Merge @a entry against overlapping victims of @a level_idx and
      * then insert it there, popping conflicting victims down (runtime
      * behavior of Algorithm 1).
      */
-    void insertAt(size_t level_idx, const SegEntry &entry);
+    void insertAt(size_t level_idx, const SegEntry &entry,
+                  MergeScratch &scratch);
 
     /**
      * Compaction variant: merge victims, but only move @a entry into
      * the level when no range conflict survives.
      * @return true when the entry was inserted.
      */
-    bool tryInsertAt(size_t level_idx, const SegEntry &entry);
+    bool tryInsertAt(size_t level_idx, const SegEntry &entry,
+                     MergeScratch &scratch);
 
     /**
      * Shared merge step: apply Algorithm 2 to every victim of
      * @a entry in @a level_idx. Dead victims are removed. Surviving
-     * range-conflicting victims are returned (removed from the level
-     * when @a detach_conflicts is set).
+     * range-conflicting victims are collected into scratch.conflicts
+     * (removed from the level when @a detach_conflicts is set).
      */
-    std::vector<SegEntry> mergeVictims(size_t level_idx,
-                                       const SegEntry &entry,
-                                       bool detach_conflicts);
+    void mergeVictims(size_t level_idx, const SegEntry &entry,
+                      bool detach_conflicts, MergeScratch &scratch);
 
     /** Pop a victim below @a from_level (Algorithm 1 lines 13-16). */
     void pushVictimDown(size_t from_level, const SegEntry &victim);
@@ -139,9 +204,28 @@ class Group
     void insertSorted(Level &level, const SegEntry &entry);
     void dropEmptyLevels();
 
+    /** Incremental segment-count bookkeeping (every mutation site). */
+    void
+    countInsert(const SegEntry &e)
+    {
+        num_segs_++;
+        if (e.seg.approximate())
+            num_approx_++;
+    }
+
+    void
+    countErase(const SegEntry &e)
+    {
+        num_segs_--;
+        if (e.seg.approximate())
+            num_approx_--;
+    }
+
     std::vector<Level> levels_; ///< [0] is the topmost (newest).
     Crb crb_;
     Crb::SegId next_id_ = 1;
+    uint32_t num_segs_ = 0;   ///< Live segments across all levels.
+    uint32_t num_approx_ = 0; ///< Live approximate segments.
 };
 
 } // namespace leaftl

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Sparse chunked flat directory of mapping groups -- the translation
+ * hot path's replacement for a hashed group map (same trick as the
+ * flash array's block-granular page store): group indices address a
+ * two-level array directly, so a lookup costs two dependent loads and
+ * a bit test instead of a hash probe, iteration walks live groups in
+ * ascending index order (which also makes serialization canonical),
+ * and memory stays proportional to the touched region of the LPA
+ * space -- chunks of 64 adjacent groups materialize on first learn.
+ *
+ * Group objects never move once created (chunks are heap-allocated
+ * and the top-level vector only stores pointers), so callers may hold
+ * Group pointers across learns; a group, once created, is never
+ * removed (matching the map-based semantics where learned groups
+ * persisted even when all their segments died).
+ */
+
+#ifndef LEAFTL_LEARNED_GROUP_DIRECTORY_HH
+#define LEAFTL_LEARNED_GROUP_DIRECTORY_HH
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "learned/group.hh"
+
+namespace leaftl
+{
+
+/** Flat directory of Groups indexed by group number. */
+class GroupDirectory
+{
+  public:
+    /** Groups per materialized chunk (one uint64_t live mask). */
+    static constexpr uint32_t kChunkGroups = 64;
+
+    /** The group at @a idx, or nullptr when never created. */
+    const Group *
+    find(uint32_t idx) const
+    {
+        const uint32_t ci = idx / kChunkGroups;
+        if (ci >= chunks_.size())
+            return nullptr;
+        const Chunk *chunk = chunks_[ci].get();
+        if (!chunk || !((chunk->live >> (idx % kChunkGroups)) & 1))
+            return nullptr;
+        return &chunk->groups[idx % kChunkGroups];
+    }
+
+    Group *
+    find(uint32_t idx)
+    {
+        return const_cast<Group *>(
+            static_cast<const GroupDirectory *>(this)->find(idx));
+    }
+
+    /** The group at @a idx, created (and marked live) if needed. */
+    Group &
+    getOrCreate(uint32_t idx)
+    {
+        const uint32_t ci = idx / kChunkGroups;
+        const uint32_t slot = idx % kChunkGroups;
+        if (ci >= chunks_.size())
+            chunks_.resize(ci + 1);
+        if (!chunks_[ci])
+            chunks_[ci] = std::make_unique<Chunk>();
+        Chunk &chunk = *chunks_[ci];
+        if (!((chunk.live >> slot) & 1)) {
+            chunk.live |= 1ull << slot;
+            live_groups_++;
+        }
+        return chunk.groups[slot];
+    }
+
+    /** Number of live (ever-created) groups. */
+    size_t size() const { return live_groups_; }
+
+    /**
+     * Host memory of the directory structure itself: the pointer
+     * table plus one materialized chunk (64 eagerly constructed Group
+     * shells, dominated by their CRB owner arrays) per touched
+     * 64-group region. This is simulator overhead, not the paper's
+     * mapping-memory metric (segments + CRB bytes) -- reported so
+     * sparse workloads can see what the chunking trade-off costs.
+     */
+    size_t
+    residentBytes() const
+    {
+        size_t chunks = 0;
+        for (const auto &chunk : chunks_)
+            chunks += chunk ? 1 : 0;
+        return chunks_.capacity() * sizeof(chunks_[0]) +
+               chunks * sizeof(Chunk);
+    }
+
+    /** Visit live groups in ascending index order: fn(idx, group). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        forEachImpl(*this, fn);
+    }
+
+    /** Mutable visitation, same order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        forEachImpl(*this, fn);
+    }
+
+  private:
+    struct Chunk
+    {
+        uint64_t live = 0; ///< Bit per slot: group has been created.
+        Group groups[kChunkGroups];
+    };
+
+    /** One iteration loop for both const and mutable visitation. */
+    template <typename Self, typename Fn>
+    static void
+    forEachImpl(Self &self, Fn &&fn)
+    {
+        for (size_t ci = 0; ci < self.chunks_.size(); ci++) {
+            auto *chunk = self.chunks_[ci].get();
+            if (!chunk)
+                continue;
+            uint64_t mask = chunk->live;
+            while (mask) {
+                const int slot = std::countr_zero(mask);
+                mask &= mask - 1;
+                fn(static_cast<uint32_t>(ci * kChunkGroups + slot),
+                   chunk->groups[slot]);
+            }
+        }
+    }
+
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    size_t live_groups_ = 0;
+};
+
+} // namespace leaftl
+
+#endif // LEAFTL_LEARNED_GROUP_DIRECTORY_HH

@@ -40,100 +40,111 @@ LearnedTable::learn(const std::vector<std::pair<Lpa, Ppa>> &run)
     std::vector<uint32_t> touched;
     if (run.empty())
         return touched;
+    epoch_++; // Cached level-0 entries may be superseded below.
     for (auto &[group_idx, fitted] : fitRun(run, gamma_)) {
         touched.push_back(group_idx);
-        Group &group = groups_[group_idx];
+        Group &group = groups_.getOrCreate(group_idx);
+        beginMutate(group);
         for (const FittedSegment &fs : fitted) {
             stats_.segments_created++;
             if (fs.seg.approximate())
                 stats_.approximate_created++;
             else
                 stats_.accurate_created++;
-            stats_.creation_lengths.add(static_cast<double>(fs.offs.size()));
-            group.update(fs);
+            stats_.creation_lengths.add(fs.offs.size());
+            group.update(fs, scratch_);
         }
+        endMutate(group);
     }
     return touched;
-}
-
-size_t
-LearnedTable::groupBytes(uint32_t group_idx) const
-{
-    auto it = groups_.find(group_idx);
-    return it == groups_.end() ? 0 : it->second.memoryBytes();
-}
-
-void
-LearnedTable::forEachGroup(const std::function<void(uint32_t)> &fn) const
-{
-    for (const auto &[idx, group] : groups_)
-        fn(idx);
 }
 
 std::optional<TableLookup>
 LearnedTable::lookup(Lpa lpa) const
 {
-    auto it = groups_.find(groupOf(lpa));
-    if (it == groups_.end())
+    const uint32_t group_idx = groupOf(lpa);
+    const uint8_t off = static_cast<uint8_t>(groupOffset(lpa));
+
+    // Directory shortcut: group objects never move and live groups are
+    // never removed, so a remembered non-null pointer stays correct
+    // across mutations; only the level-0 entry needs the epoch gate.
+    const Group *group;
+    if (cache_.group_idx == group_idx) {
+        group = cache_.group;
+    } else {
+        group = groups_.find(group_idx);
+        if (group) {
+            cache_.group_idx = group_idx;
+            cache_.group = group;
+        } else {
+            // Do not cache misses: a later learn can create the group.
+            cache_.group_idx = kInvalidLpa;
+            cache_.group = nullptr;
+        }
+        cache_.top = nullptr;
+    }
+    if (!group)
         return std::nullopt;
-    auto res = it->second.lookup(static_cast<uint8_t>(groupOffset(lpa)));
+
+    // Last-hit shortcut: if the previous hit's level-0 entry still
+    // covers and owns this offset (and the table is unchanged), a full
+    // scan would find exactly this segment at depth 1 -- within a
+    // level, covering segments are unique, and level 0 is topmost.
+    if (cache_.top && cache_.epoch == epoch_ &&
+        group->hasLpa(*cache_.top, off)) {
+        stats_.lookup_cache_hits++;
+        stats_.lookups++;
+        stats_.lookup_levels_total += 1;
+        stats_.lookup_levels.add(1);
+        return TableLookup{cache_.top->seg.predict(off),
+                           cache_.top->seg.approximate(), 1};
+    }
+
+    const SegEntry *top_hit = nullptr;
+    auto res = group->lookup(off, &top_hit);
     if (!res)
         return std::nullopt;
+    if (top_hit) {
+        cache_.top = top_hit;
+        cache_.epoch = epoch_;
+    }
     stats_.lookups++;
     stats_.lookup_levels_total += res->levels_visited;
-    stats_.lookup_levels.add(static_cast<double>(res->levels_visited));
+    stats_.lookup_levels.add(res->levels_visited);
     return TableLookup{res->ppa, res->approximate, res->levels_visited};
 }
 
 void
 LearnedTable::compact()
 {
-    for (auto &[idx, group] : groups_)
-        group.compact();
-}
-
-size_t
-LearnedTable::memoryBytes() const
-{
-    size_t bytes = 0;
-    for (const auto &[idx, group] : groups_)
-        bytes += group.memoryBytes();
-    return bytes;
-}
-
-size_t
-LearnedTable::numSegments() const
-{
-    size_t n = 0;
-    for (const auto &[idx, group] : groups_)
-        n += group.numSegments();
-    return n;
-}
-
-size_t
-LearnedTable::numApproximate() const
-{
-    size_t n = 0;
-    for (const auto &[idx, group] : groups_)
-        n += group.numApproximate();
-    return n;
+    epoch_++;
+    groups_.forEach([&](uint32_t, Group &group) {
+        beginMutate(group);
+        group.compact(scratch_);
+        endMutate(group);
+    });
 }
 
 SampleSet
 LearnedTable::levelsPerGroup() const
 {
-    SampleSet s;
-    for (const auto &[idx, group] : groups_)
+    // Sized to the group count so the figure percentiles stay exact
+    // (the set is transient; only per-lookup series need the default
+    // reservoir cap).
+    SampleSet s(groups_.size());
+    groups_.forEach([&](uint32_t, const Group &group) {
         s.add(static_cast<double>(group.numLevels()));
+    });
     return s;
 }
 
 SampleSet
 LearnedTable::crbSizes() const
 {
-    SampleSet s;
-    for (const auto &[idx, group] : groups_)
+    SampleSet s(groups_.size());
+    groups_.forEach([&](uint32_t, const Group &group) {
         s.add(static_cast<double>(group.crb().sizeBytes()));
+    });
     return s;
 }
 
@@ -143,12 +154,9 @@ LearnedTable::serialize() const
     std::vector<uint8_t> blob;
     put<uint32_t>(blob, gamma_);
     put<uint32_t>(blob, static_cast<uint32_t>(groups_.size()));
-    for (const auto &[idx, group] : groups_) {
+    groups_.forEach([&](uint32_t idx, const Group &group) {
         put<uint32_t>(blob, idx);
-        // Count segments first.
-        uint32_t count = 0;
-        group.forEachSegment([&](const SegEntry &, size_t) { count++; });
-        put<uint32_t>(blob, count);
+        put<uint32_t>(blob, static_cast<uint32_t>(group.numSegments()));
         group.forEachSegment([&](const SegEntry &e, size_t level) {
             put<uint16_t>(blob, static_cast<uint16_t>(level));
             put<uint8_t>(blob, e.seg.slpa());
@@ -162,7 +170,7 @@ LearnedTable::serialize() const
                     put<uint8_t>(blob, off);
             }
         });
-    }
+    });
     return blob;
 }
 
@@ -176,7 +184,8 @@ LearnedTable::deserialize(const std::vector<uint8_t> &blob)
     for (uint32_t g = 0; g < num_groups; g++) {
         const uint32_t idx = get<uint32_t>(blob, at);
         const uint32_t count = get<uint32_t>(blob, at);
-        Group &group = table->groups_[idx];
+        Group &group = table->groups_.getOrCreate(idx);
+        table->beginMutate(group);
         for (uint32_t i = 0; i < count; i++) {
             const uint16_t level = get<uint16_t>(blob, at);
             const uint8_t slpa = get<uint8_t>(blob, at);
@@ -193,6 +202,7 @@ LearnedTable::deserialize(const std::vector<uint8_t> &blob)
             }
             group.restoreRaw(level, seg, run);
         }
+        table->endMutate(group);
     }
     return table;
 }
@@ -200,8 +210,17 @@ LearnedTable::deserialize(const std::vector<uint8_t> &blob)
 void
 LearnedTable::checkInvariants() const
 {
-    for (const auto &[idx, group] : groups_)
+    size_t segs = 0, approx = 0, bytes = 0;
+    groups_.forEach([&](uint32_t, const Group &group) {
         group.checkInvariants();
+        segs += group.numSegments();
+        approx += group.numApproximate();
+        bytes += group.memoryBytes();
+    });
+    LEAFTL_ASSERT(segs == total_segments_, "table segment total out of sync");
+    LEAFTL_ASSERT(approx == total_approx_,
+                  "table approximate total out of sync");
+    LEAFTL_ASSERT(bytes == total_bytes_, "table byte total out of sync");
 }
 
 } // namespace leaftl

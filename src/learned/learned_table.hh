@@ -7,6 +7,24 @@
  * layer, plus the statistics the evaluation figures need (segment
  * counts and types, creation lengths, level depths, CRB sizes,
  * mapping-memory bytes).
+ *
+ * Hot-path design (the translation overhaul):
+ *   - groups live in a sparse chunked flat directory (GroupDirectory):
+ *     a lookup indexes two arrays instead of hashing, and iteration
+ *     walks live groups in ascending order, which makes serialize()
+ *     canonical (byte-identical for any construction order);
+ *   - segment / approximate / byte totals are maintained incrementally
+ *     around every group mutation, so memoryBytes(), numSegments() and
+ *     groupBytes() are O(1) reads on the learn path and in reporters;
+ *   - one MergeScratch arena per table keeps the steady-state learn
+ *     path allocation-free;
+ *   - a one-entry last-hit cache (group pointer + the level-0 entry
+ *     that served the previous lookup) short-circuits the level scan
+ *     for sequential and hot-key reads. The entry shortcut is gated on
+ *     a mutation epoch and only taken for level-0 hits, where it is
+ *     exact: within a level ranges never overlap, so a revalidated
+ *     cached entry is the same segment a full scan would find, at the
+ *     same depth -- observable results and stats are unchanged.
  */
 
 #ifndef LEAFTL_LEARNED_LEARNED_TABLE_HH
@@ -15,11 +33,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "learned/group.hh"
+#include "learned/group_directory.hh"
 #include "util/common.hh"
 #include "util/stats.hh"
 
@@ -34,18 +52,26 @@ struct TableLookup
     uint32_t levels_visited;
 };
 
-/** Creation-time and lookup-time statistics. */
+/**
+ * Creation-time and lookup-time statistics. The per-event series use
+ * exact bounded histograms (a segment covers at most 256 mappings and
+ * lookup depths clamp at 256), so statistics memory is O(1) no matter
+ * how many lookups a run performs -- the store-everything SampleSet
+ * here used to grow by 8 bytes per lookup forever.
+ */
 struct LearnedTableStats
 {
     uint64_t segments_created = 0;
     uint64_t accurate_created = 0;
     uint64_t approximate_created = 0;
     /** Mappings per segment at creation (Fig. 5). */
-    SampleSet creation_lengths;
+    CountHistogram creation_lengths{256};
     uint64_t lookups = 0;
     uint64_t lookup_levels_total = 0;
     /** Levels visited per lookup (Fig. 23a). */
-    SampleSet lookup_levels;
+    CountHistogram lookup_levels{256};
+    /** Lookups served by the one-entry last-hit cache. */
+    uint64_t lookup_cache_hits = 0;
 };
 
 /** Learned LPA->PPA mapping table (one per SSD). */
@@ -76,18 +102,37 @@ class LearnedTable
     /** Compact every group (triggered periodically by the FTL, §3.7). */
     void compact();
 
-    /** Total mapping memory: segments + CRBs (bytes). */
-    size_t memoryBytes() const;
+    /** Total mapping memory: segments + CRBs (bytes, O(1)). */
+    size_t memoryBytes() const { return total_bytes_; }
 
     /** Mapping memory of one group (0 when the group is unknown). */
-    size_t groupBytes(uint32_t group_idx) const;
+    size_t
+    groupBytes(uint32_t group_idx) const
+    {
+        const Group *g = groups_.find(group_idx);
+        return g ? g->memoryBytes() : 0;
+    }
 
-    /** Visit every group index. */
-    void forEachGroup(const std::function<void(uint32_t)> &fn) const;
+    /** Visit every live group index, in ascending order. */
+    template <typename Fn>
+    void
+    forEachGroup(Fn &&fn) const
+    {
+        groups_.forEach([&](uint32_t idx, const Group &) { fn(idx); });
+    }
 
-    size_t numSegments() const;
-    size_t numApproximate() const;
+    size_t numSegments() const { return total_segments_; }
+    size_t numApproximate() const { return total_approx_; }
     size_t numGroups() const { return groups_.size(); }
+
+    /**
+     * Host memory of the group directory itself (chunk shells +
+     * pointer table). Simulator overhead, distinct from the paper's
+     * memoryBytes() mapping metric; grows with touched 64-group
+     * regions of the LPA space, so very sparse access patterns pay
+     * more per live group than the dense common case.
+     */
+    size_t directoryBytes() const { return groups_.residentBytes(); }
 
     /** Per-group level counts (Fig. 12). */
     SampleSet levelsPerGroup() const;
@@ -98,7 +143,10 @@ class LearnedTable
 
     /**
      * Serialize all segments and CRB runs to a flat blob (persisted to
-     * translation blocks for crash recovery, §3.8).
+     * translation blocks for crash recovery, §3.8). Groups are emitted
+     * in ascending index order, so two tables with the same logical
+     * content produce byte-identical blobs regardless of how (or in
+     * which layout) they were built.
      */
     std::vector<uint8_t> serialize() const;
 
@@ -106,12 +154,50 @@ class LearnedTable
     static std::unique_ptr<LearnedTable>
     deserialize(const std::vector<uint8_t> &blob);
 
-    /** Validate invariants of every group (tests). */
+    /** Validate invariants of every group and the totals (tests). */
     void checkInvariants() const;
 
   private:
+    /** Retire a group's contribution to the table totals. */
+    void
+    beginMutate(const Group &g)
+    {
+        total_segments_ -= g.numSegments();
+        total_approx_ -= g.numApproximate();
+        total_bytes_ -= g.memoryBytes();
+    }
+
+    /** Re-add a group's contribution after mutating it. */
+    void
+    endMutate(const Group &g)
+    {
+        total_segments_ += g.numSegments();
+        total_approx_ += g.numApproximate();
+        total_bytes_ += g.memoryBytes();
+    }
+
     uint32_t gamma_;
-    std::unordered_map<uint32_t, Group> groups_;
+    GroupDirectory groups_;
+    /** Learn-path arena: reused across learns and compactions. */
+    MergeScratch scratch_;
+    /** Bumped on every mutation; gates the lookup cache's entry. */
+    uint64_t epoch_ = 1;
+
+    /** One-entry last-hit translation cache. */
+    struct LookupCache
+    {
+        uint32_t group_idx = kInvalidLpa; ///< Cached group number.
+        const Group *group = nullptr;     ///< Never cached when null.
+        const SegEntry *top = nullptr;    ///< Level-0 entry of last hit.
+        uint64_t epoch = 0;               ///< Epoch top was captured at.
+    };
+    mutable LookupCache cache_;
+
+    // Incremental totals (kept in sync by begin/endMutate).
+    size_t total_segments_ = 0;
+    size_t total_approx_ = 0;
+    size_t total_bytes_ = 0;
+
     mutable LearnedTableStats stats_;
 };
 

@@ -1,44 +1,9 @@
 #include "learned/segment.hh"
 
-#include <cmath>
 #include <cstdio>
 
 namespace leaftl
 {
-
-uint32_t
-Segment::stride() const
-{
-    const float k = slope();
-    if (k <= 0.0f)
-        return 1;
-    const uint32_t d = static_cast<uint32_t>(std::lround(1.0 / k));
-    return d == 0 ? 1 : d;
-}
-
-Ppa
-Segment::predict(uint8_t off) const
-{
-    const double k = slope();
-    const double v = k * off + static_cast<double>(intercept_);
-    const int64_t p = std::llround(v);
-    // Approximate predictions near PPA 0 can undershoot; clamp (the
-    // OOB verification resolves the real page, and build-time
-    // verification rejects candidates whose clamped error exceeds
-    // gamma).
-    return p < 0 ? 0 : static_cast<Ppa>(p);
-}
-
-bool
-Segment::hasLpaAccurate(uint8_t off) const
-{
-    if (!covers(off))
-        return false;
-    if (singlePoint())
-        return off == slpa_;
-    const uint32_t d = stride();
-    return (static_cast<uint32_t>(off - slpa_) % d) == 0;
-}
 
 std::string
 Segment::toString() const

@@ -29,6 +29,7 @@
 #ifndef LEAFTL_LEARNED_SEGMENT_HH
 #define LEAFTL_LEARNED_SEGMENT_HH
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -83,11 +84,32 @@ class Segment
     /**
      * LPA stride of an accurate segment: round(1 / K). fp16 keeps
      * 1/K recoverable exactly for all strides up to the group span.
+     * Inline (with predict and hasLpaAccurate below): these run per
+     * translation, and cross-TU calls would dominate the arithmetic.
      */
-    uint32_t stride() const;
+    uint32_t
+    stride() const
+    {
+        const float k = slope();
+        if (k <= 0.0f)
+            return 1;
+        const uint32_t d = static_cast<uint32_t>(std::lround(1.0 / k));
+        return d == 0 ? 1 : d;
+    }
 
     /** Predicted PPA for a group offset: round(K * off + I). */
-    Ppa predict(uint8_t off) const;
+    Ppa
+    predict(uint8_t off) const
+    {
+        const double k = slope();
+        const double v = k * off + static_cast<double>(intercept_);
+        const int64_t p = std::llround(v);
+        // Approximate predictions near PPA 0 can undershoot; clamp
+        // (the OOB verification resolves the real page, and build-time
+        // verification rejects candidates whose clamped error exceeds
+        // gamma).
+        return p < 0 ? 0 : static_cast<Ppa>(p);
+    }
 
     /**
      * Range inclusion test: off in [S, S+L]. Full membership for
@@ -104,7 +126,15 @@ class Segment
      * Membership test for accurate segments (Algorithm 2, has_lpa):
      * off is on the stride grid anchored at S.
      */
-    bool hasLpaAccurate(uint8_t off) const;
+    bool
+    hasLpaAccurate(uint8_t off) const
+    {
+        if (!covers(off))
+            return false;
+        if (singlePoint())
+            return off == slpa_;
+        return (static_cast<uint32_t>(off - slpa_) % stride()) == 0;
+    }
 
     /** Trim to a new [start, end] window (merge shrinks only). */
     void

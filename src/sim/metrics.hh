@@ -29,6 +29,14 @@ struct RunResult
     /** Simulated time at the end of the replay (after the drain). */
     Tick sim_time_ns = 0;
 
+    /**
+     * Host wall-clock time the replay consumed in ns (0 when the
+     * caller did not measure it). Filled by the leaftl_sim sweep so
+     * every row doubles as a host-perf sample; being host time, it is
+     * the one column excluded from the CSV determinism guarantees.
+     */
+    uint64_t host_wall_ns = 0;
+
     /** Queue depth the replay engine drove the device with. */
     uint32_t queue_depth = 1;
     /** Time-weighted mean number of outstanding requests. */

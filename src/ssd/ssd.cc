@@ -270,10 +270,14 @@ Ssd::trim(Lpa lpa, Tick now)
     return ack - now;
 }
 
-std::vector<std::pair<Lpa, Ppa>>
+const std::vector<std::pair<Lpa, Ppa>> &
 Ssd::programBatch(const std::vector<Lpa> &lpas, Tick now, WriteKind kind)
 {
-    std::vector<std::pair<Lpa, Ppa>> run;
+    // Reuse one run buffer across flushes/GC passes: with the learned
+    // table's own scratch arena this keeps the steady-state learn path
+    // free of per-batch heap allocation.
+    std::vector<std::pair<Lpa, Ppa>> &run = run_scratch_;
+    run.clear();
     run.reserve(lpas.size());
 
     const uint32_t ppb = cfg_.geometry.pages_per_block;
@@ -362,7 +366,7 @@ Ssd::flushBuffer(Tick)
             blocks_.invalidate(old);
     }
 
-    const auto run = programBatch(lpas, cur_time_, WriteKind::Host);
+    const auto &run = programBatch(lpas, cur_time_, WriteKind::Host);
     recordHostMappings(run);
 
     writes_since_compaction_ += lpas.size();
@@ -408,7 +412,7 @@ Ssd::drainBuffer(Tick now)
             if (old != kInvalidPpa)
                 blocks_.invalidate(old);
         }
-        const auto run = programBatch(lpas, cur_time_, WriteKind::Host);
+        const auto &run = programBatch(lpas, cur_time_, WriteKind::Host);
         recordHostMappings(run);
         updateDramSplit();
         maybeGc(cur_time_);
@@ -474,7 +478,7 @@ Ssd::doGcPass(Tick now)
     }
 
     if (!lpas.empty()) {
-        const auto run = programBatch(lpas, now, WriteKind::Gc);
+        const auto &run = programBatch(lpas, now, WriteKind::Gc);
         ftl_->recordMappingsGc(run);
     }
 
@@ -516,7 +520,7 @@ Ssd::migrateBlock(uint32_t victim, Tick now, bool wear)
     }
 
     if (!lpas.empty()) {
-        auto run = programBatch(lpas, now,
+        const auto &run = programBatch(lpas, now,
                                 wear ? WriteKind::Wear : WriteKind::Gc);
         ftl_->recordMappingsGc(run);
     }

@@ -210,8 +210,12 @@ class Ssd : public FtlOps
         Wear,
     };
 
-    /** Program a sorted batch of LPAs into fresh blocks. */
-    std::vector<std::pair<Lpa, Ppa>>
+    /**
+     * Program a sorted batch of LPAs into fresh blocks. Returns the
+     * programmed (LPA, PPA) run in a per-device scratch buffer that
+     * stays valid until the next programBatch call.
+     */
+    const std::vector<std::pair<Lpa, Ppa>> &
     programBatch(const std::vector<Lpa> &lpas, Tick now, WriteKind kind);
 
     SsdConfig cfg_;
@@ -226,6 +230,8 @@ class Ssd : public FtlOps
 
     /** Scratch OOB window reused by resolveExact (hot path). */
     std::vector<Lpa> oob_scratch_;
+    /** Scratch (LPA, PPA) run reused by programBatch (learn path). */
+    std::vector<std::pair<Lpa, Ppa>> run_scratch_;
 
     /** Time cursor for the operation currently being charged. */
     Tick cur_time_ = 0;

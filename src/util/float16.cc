@@ -48,36 +48,4 @@ float16Encode(float value)
     return static_cast<uint16_t>(bits);
 }
 
-float
-float16Decode(uint16_t bits)
-{
-    const uint32_t sign = (bits & 0x8000u) << 16;
-    const uint32_t exp = (bits >> 10) & 0x1Fu;
-    const uint32_t mant = bits & 0x3FFu;
-
-    uint32_t f;
-    if (exp == 0) {
-        if (mant == 0) {
-            f = sign;
-        } else {
-            // Subnormal: normalize.
-            int e = -1;
-            uint32_t m = mant;
-            do {
-                m <<= 1;
-                e++;
-            } while ((m & 0x400u) == 0);
-            f = sign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
-        }
-    } else if (exp == 31) {
-        f = sign | 0x7F800000u | (mant << 13);
-    } else {
-        f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
-    }
-
-    float out;
-    std::memcpy(&out, &f, sizeof(out));
-    return out;
-}
-
 } // namespace leaftl

@@ -21,22 +21,33 @@ RunningStat::add(double x)
     count_++;
 }
 
+SampleSet::SampleSet(size_t cap)
+    : cap_(cap ? cap : 1), rng_state_(0x9E3779B97F4A7C15ull)
+{
+}
+
 void
 SampleSet::add(double x)
 {
-    samples_.push_back(x);
-    sorted_ = false;
-}
-
-double
-SampleSet::mean() const
-{
-    if (samples_.empty())
-        return 0.0;
-    double sum = 0.0;
-    for (double s : samples_)
-        sum += s;
-    return sum / samples_.size();
+    count_++;
+    sum_ += x;
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    if (samples_.size() < cap_) {
+        samples_.push_back(x);
+        sorted_ = false;
+        return;
+    }
+    // Algorithm R: keep each of the count_ samples with equal
+    // probability. splitmix64 keeps replacement deterministic.
+    uint64_t z = (rng_state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    const uint64_t j = z % count_;
+    if (j < cap_) {
+        samples_[j] = x;
+        sorted_ = false;
+    }
 }
 
 double
@@ -55,12 +66,35 @@ SampleSet::percentile(double p) const
     return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
-double
-SampleSet::max() const
+CountHistogram::CountHistogram(uint32_t max_value)
+    : buckets_(static_cast<size_t>(max_value) + 1, 0)
 {
-    if (samples_.empty())
+    LEAFTL_ASSERT(max_value > 0, "invalid count histogram bound");
+}
+
+uint64_t
+CountHistogram::valueAt(uint64_t k) const
+{
+    uint64_t cum = 0;
+    for (size_t v = 0; v < buckets_.size(); v++) {
+        cum += buckets_[v];
+        if (cum > k)
+            return v;
+    }
+    return buckets_.size() - 1;
+}
+
+double
+CountHistogram::percentile(double p) const
+{
+    if (total_ == 0)
         return 0.0;
-    return *std::max_element(samples_.begin(), samples_.end());
+    const double rank = (p / 100.0) * static_cast<double>(total_ - 1);
+    const uint64_t lo = static_cast<uint64_t>(rank);
+    const uint64_t hi = std::min<uint64_t>(lo + 1, total_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return static_cast<double>(valueAt(lo)) * (1.0 - frac) +
+           static_cast<double>(valueAt(hi)) * frac;
 }
 
 LatencyHistogram::LatencyHistogram(double min_value, double growth,

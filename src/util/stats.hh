@@ -35,22 +35,85 @@ class RunningStat
 };
 
 /**
- * Exact-percentile summary: stores all samples. Use only where sample
- * counts are modest (per-group sizes, level counts).
+ * Percentile summary with bounded memory: exact while at most @a cap
+ * samples have been added, then a uniform reservoir (Vitter's
+ * Algorithm R with a deterministic internal generator, so results are
+ * reproducible across runs and platforms). count(), mean() and max()
+ * are always exact regardless of the cap. Per-lookup statistics feed
+ * this on the translation hot path, so an add is O(1) and the memory
+ * footprint is O(cap) no matter how many samples a run produces.
  */
 class SampleSet
 {
   public:
+    /** Default reservoir bound (128 KB of doubles per set). */
+    static constexpr size_t kDefaultCap = 16384;
+
+    explicit SampleSet(size_t cap = kDefaultCap);
+
     void add(double x);
 
-    uint64_t count() const { return samples_.size(); }
-    double mean() const;
+    /** Total samples added (exact, not the stored count). */
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double percentile(double p) const; ///< p in [0, 100].
-    double max() const;
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Samples currently held (== count() until the cap is hit). */
+    size_t storedSamples() const { return samples_.size(); }
+    size_t capacity() const { return cap_; }
 
   private:
+    size_t cap_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+    uint64_t rng_state_;
     mutable std::vector<double> samples_;
     mutable bool sorted_ = true;
+};
+
+/**
+ * Exact histogram over small non-negative integers (lookup depths,
+ * segment creation lengths): one counter per value up to @a max_value
+ * (larger samples clamp into the top bucket). add() is a single array
+ * increment, memory is O(max_value) forever, and mean()/max() are
+ * exact; percentile() is exact whenever no sample clamped. This is
+ * what per-lookup statistics use on the translation hot path.
+ */
+class CountHistogram
+{
+  public:
+    explicit CountHistogram(uint32_t max_value = 256);
+
+    void
+    add(uint64_t v)
+    {
+        buckets_[v < buckets_.size() ? v : buckets_.size() - 1]++;
+        total_++;
+        sum_ += static_cast<double>(v);
+        max_ = v > max_ ? v : max_;
+    }
+
+    uint64_t count() const { return total_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    double max() const { return static_cast<double>(max_); }
+    /**
+     * Value at percentile p (p in [0, 100]), interpolated between
+     * order statistics exactly like SampleSet.
+     */
+    double percentile(double p) const;
+
+    size_t numBuckets() const { return buckets_.size(); }
+
+  private:
+    /** k-th order statistic (0-based). */
+    uint64_t valueAt(uint64_t k) const;
+
+    std::vector<uint64_t> buckets_;
+    uint64_t total_ = 0;
+    double sum_ = 0.0;
+    uint64_t max_ = 0;
 };
 
 /**

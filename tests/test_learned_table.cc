@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <map>
 
 #include "learned/learned_table.hh"
@@ -209,6 +210,214 @@ TEST(LearnedTable, GroupBytesAndIteration)
     EXPECT_EQ(seen, 2u);
     EXPECT_EQ(total, t.memoryBytes());
 }
+
+TEST(LearnedTable, LookupCacheServesHotAndSequentialReads)
+{
+    LearnedTable t(0);
+    t.learn(seqRun(0, 1024, 5000));
+    // A sequential scan re-hits each group's level-0 segment.
+    for (Lpa lpa = 0; lpa < 1024; lpa++)
+        ASSERT_EQ(t.lookup(lpa)->ppa, 5000u + lpa);
+    const auto &st = t.stats();
+    EXPECT_EQ(st.lookups, 1024u);
+    // Every lookup but the first of each 256-LPA group short-circuits.
+    EXPECT_EQ(st.lookup_cache_hits, 1024u - 4u);
+    EXPECT_EQ(st.lookup_levels_total, 1024u); // Depth 1 either way.
+}
+
+TEST(LearnedTable, LookupCacheInvalidatedByLearnAndCompact)
+{
+    LearnedTable t(0);
+    t.learn(seqRun(0, 256, 1000));
+    // Warm the cache on a hot key...
+    EXPECT_EQ(t.lookup(10)->ppa, 1010u);
+    EXPECT_EQ(t.lookup(10)->ppa, 1010u);
+    // ...then overwrite it. The cached entry must not serve stale PPAs.
+    t.learn({{10, 9999}});
+    EXPECT_EQ(t.lookup(10)->ppa, 9999u);
+    EXPECT_EQ(t.lookup(10)->ppa, 9999u);
+    t.compact();
+    EXPECT_EQ(t.lookup(10)->ppa, 9999u);
+    EXPECT_EQ(t.lookup(11)->ppa, 1011u);
+    t.checkInvariants();
+}
+
+TEST(LearnedTable, LookupStatsMemoryIsBoundedOverMillionsOfLookups)
+{
+    // Regression for the unbounded-memory stats bug: lookup_levels
+    // used to append one double per lookup forever (80 MB per 10M
+    // lookups). The histogram's footprint is fixed at construction.
+    LearnedTable t(0);
+    t.learn(seqRun(0, 4096, 0));
+    const size_t buckets_before = t.stats().lookup_levels.numBuckets();
+    for (uint64_t i = 0; i < 10'000'000; i++)
+        t.lookup(static_cast<Lpa>(i % 4096));
+    EXPECT_EQ(t.stats().lookups, 10'000'000u);
+    EXPECT_EQ(t.stats().lookup_levels.numBuckets(), buckets_before);
+    EXPECT_DOUBLE_EQ(t.stats().lookup_levels.mean(), 1.0);
+}
+
+TEST(LearnedTable, SerializeIsCanonicalAcrossConstructionOrders)
+{
+    // Two tables with the same logical content, built in different
+    // group orders, must serialize to byte-identical blobs (groups are
+    // emitted in ascending index order, not construction order).
+    LearnedTable a(0), b(0);
+    a.learn(seqRun(0, 256, 100));
+    a.learn(seqRun(1024, 256, 900));
+    b.learn(seqRun(1024, 256, 900));
+    b.learn(seqRun(0, 256, 100));
+    EXPECT_EQ(a.serialize(), b.serialize());
+
+    // Round trip is idempotent: deserialize(serialize()) reserializes
+    // to the same bytes.
+    const auto blob = a.serialize();
+    EXPECT_EQ(LearnedTable::deserialize(blob)->serialize(), blob);
+}
+
+/**
+ * Reference layout for the differential fuzz below: the pre-overhaul
+ * std::map-of-groups table (ordered iteration, per-group update with a
+ * throwaway scratch). Serialization follows the same wire format, so
+ * blobs must match the flat-directory implementation byte for byte.
+ */
+class MapTableRef
+{
+  public:
+    explicit MapTableRef(uint32_t gamma) : gamma_(gamma) {}
+
+    void
+    learn(const std::vector<std::pair<Lpa, Ppa>> &run)
+    {
+        for (auto &[group_idx, fitted] : fitRun(run, gamma_)) {
+            Group &group = groups_[group_idx];
+            for (const FittedSegment &fs : fitted)
+                group.update(fs);
+        }
+    }
+
+    void
+    compact()
+    {
+        for (auto &[idx, group] : groups_)
+            group.compact();
+    }
+
+    std::optional<GroupLookup>
+    lookup(Lpa lpa) const
+    {
+        auto it = groups_.find(groupOf(lpa));
+        if (it == groups_.end())
+            return std::nullopt;
+        return it->second.lookup(static_cast<uint8_t>(groupOffset(lpa)));
+    }
+
+    std::vector<uint8_t>
+    serialize() const
+    {
+        std::vector<uint8_t> blob;
+        put<uint32_t>(blob, gamma_);
+        put<uint32_t>(blob, static_cast<uint32_t>(groups_.size()));
+        for (const auto &[idx, group] : groups_) {
+            put<uint32_t>(blob, idx);
+            put<uint32_t>(blob,
+                          static_cast<uint32_t>(group.numSegments()));
+            group.forEachSegment([&](const SegEntry &e, size_t level) {
+                put<uint16_t>(blob, static_cast<uint16_t>(level));
+                put<uint8_t>(blob, e.seg.slpa());
+                put<uint8_t>(blob, e.seg.length());
+                put<uint16_t>(blob, e.seg.kbits());
+                put<int32_t>(blob, e.seg.intercept());
+                if (e.seg.approximate()) {
+                    const auto &run = group.crb().run(e.id);
+                    put<uint16_t>(blob,
+                                  static_cast<uint16_t>(run.size()));
+                    for (uint8_t off : run)
+                        put<uint8_t>(blob, off);
+                }
+            });
+        }
+        return blob;
+    }
+
+    size_t
+    memoryBytes() const
+    {
+        size_t bytes = 0;
+        for (const auto &[idx, group] : groups_)
+            bytes += group.memoryBytes();
+        return bytes;
+    }
+
+  private:
+    template <typename T>
+    static void
+    put(std::vector<uint8_t> &blob, T v)
+    {
+        const size_t at = blob.size();
+        blob.resize(at + sizeof(T));
+        std::memcpy(blob.data() + at, &v, sizeof(T));
+    }
+
+    uint32_t gamma_;
+    std::map<uint32_t, Group> groups_;
+};
+
+class LayoutEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>>
+{
+};
+
+TEST_P(LayoutEquivalence, DirectoryMatchesMapReference)
+{
+    const uint32_t gamma = std::get<0>(GetParam());
+    Rng rng(std::get<1>(GetParam()) * 104729 + 7);
+    LearnedTable table(gamma);
+    MapTableRef ref(gamma);
+
+    Ppa next_ppa = 1;
+    for (int round = 0; round < 25; round++) {
+        std::vector<std::pair<Lpa, Ppa>> run;
+        Lpa lpa = rng.nextBounded(3000);
+        const uint32_t n = 1 + rng.nextBounded(200);
+        for (uint32_t i = 0; i < n; i++) {
+            run.emplace_back(lpa, next_ppa++);
+            lpa += 1 + rng.nextBounded(5);
+        }
+        table.learn(run);
+        ref.learn(run);
+        if (round % 9 == 8) {
+            table.compact();
+            ref.compact();
+        }
+    }
+    table.checkInvariants();
+
+    // Identical lookups across the whole touched LPA space --
+    // including never-learned addresses -- and identical memory.
+    for (Lpa lpa = 0; lpa < 5000; lpa++) {
+        const auto a = table.lookup(lpa);
+        const auto b = ref.lookup(lpa);
+        ASSERT_EQ(a.has_value(), b.has_value()) << lpa;
+        if (a) {
+            EXPECT_EQ(a->ppa, b->ppa) << lpa;
+            EXPECT_EQ(a->approximate, b->approximate) << lpa;
+            EXPECT_EQ(a->levels_visited, b->levels_visited) << lpa;
+        }
+    }
+    EXPECT_EQ(table.memoryBytes(), ref.memoryBytes());
+
+    // Byte-identical serialization across layouts, and a lossless
+    // round trip through the directory deserializer.
+    const auto blob = table.serialize();
+    EXPECT_EQ(blob, ref.serialize());
+    EXPECT_EQ(LearnedTable::deserialize(blob)->serialize(), blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaSeeds, LayoutEquivalence,
+    ::testing::Combine(::testing::Values(0u, 1u, 4u, 16u),
+                       ::testing::Range<uint64_t>(0, 8)));
 
 class TableRandomSweep
     : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>>

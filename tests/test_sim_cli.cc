@@ -285,17 +285,40 @@ TEST(SimCliSweep, DeviceAxisEmitsOneRowEachWithTrailingColumn)
     std::istringstream lines(out.str());
     std::string line;
     ASSERT_TRUE(std::getline(lines, line));
-    // device is the LAST column so pre-existing column indices hold.
-    ASSERT_GE(line.size(), 7u);
-    EXPECT_EQ(line.substr(line.size() - 7), ",device");
+    // device and wall_ns are appended last so pre-existing column
+    // indices hold; wall_ns (host time, nondeterministic) is trailing
+    // so stripping one column recovers a reproducible row.
+    ASSERT_GE(line.size(), 15u);
+    EXPECT_EQ(line.substr(line.size() - 15), ",device,wall_ns");
 
     std::vector<std::string> devices;
     while (std::getline(lines, line)) {
-        const auto comma = line.rfind(',');
-        ASSERT_NE(comma, std::string::npos);
-        devices.push_back(line.substr(comma + 1));
+        const auto wall_comma = line.rfind(',');
+        ASSERT_NE(wall_comma, std::string::npos);
+        const std::string wall = line.substr(wall_comma + 1);
+        EXPECT_FALSE(wall.empty());
+        EXPECT_GT(std::stoull(wall), 0u) << line;
+        const auto dev_comma = line.rfind(',', wall_comma - 1);
+        ASSERT_NE(dev_comma, std::string::npos);
+        devices.push_back(
+            line.substr(dev_comma + 1, wall_comma - dev_comma - 1));
     }
     EXPECT_EQ(devices, (std::vector<std::string>{"auto", "tiny"}));
+}
+
+/** Drop the trailing wall_ns column (host time) from every CSV line. */
+std::string
+stripWallNs(const std::string &csv)
+{
+    std::ostringstream out;
+    std::istringstream in(csv);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto comma = line.rfind(',');
+        out << (comma == std::string::npos ? line : line.substr(0, comma))
+            << '\n';
+    }
+    return out.str();
 }
 
 TEST(SimCliSweep, ParallelJobsProduceIdenticalCsv)
@@ -318,8 +341,9 @@ TEST(SimCliSweep, ParallelJobsProduceIdenticalCsv)
     ASSERT_EQ(runSweep(opts, parallel), 0);
 
     // Rows are emitted in combination order regardless of job count,
-    // so the whole CSV must be byte-identical.
-    EXPECT_EQ(serial.str(), parallel.str());
+    // so modulo the trailing host wall-clock column the CSV must be
+    // byte-identical.
+    EXPECT_EQ(stripWallNs(serial.str()), stripWallNs(parallel.str()));
 
     // 2 ftls x 1 workload x 2 gammas x 2 qds = 8 rows + header.
     size_t lines = 0;

@@ -48,6 +48,68 @@ TEST(SampleSet, InterleavedAddAndQuery)
     EXPECT_NEAR(s.percentile(50), 15.0, 1e-9);
 }
 
+TEST(SampleSet, ReservoirKeepsMemoryBounded)
+{
+    // Regression for the unbounded-stats bug: per-lookup series used
+    // to store every sample forever. A capped set must hold at most
+    // `capacity()` doubles no matter how many samples stream through,
+    // while count/mean/max stay exact.
+    SampleSet s(1024);
+    const uint64_t n = 10'000'000;
+    for (uint64_t i = 1; i <= n; i++)
+        s.add(static_cast<double>(i % 1000));
+    EXPECT_EQ(s.count(), n);
+    EXPECT_EQ(s.storedSamples(), 1024u);
+    EXPECT_LE(s.storedSamples(), s.capacity());
+    EXPECT_DOUBLE_EQ(s.max(), 999.0);
+    EXPECT_NEAR(s.mean(), 499.5, 0.01);
+    // The reservoir is a uniform sample: the median of a uniform
+    // 0..999 stream lands near 500 with high probability at cap 1024.
+    EXPECT_NEAR(s.percentile(50), 500.0, 60.0);
+}
+
+TEST(SampleSet, ExactUntilCapThenDeterministic)
+{
+    SampleSet a(100), b(100);
+    for (int i = 0; i < 5000; i++) {
+        a.add(static_cast<double>(i));
+        b.add(static_cast<double>(i));
+    }
+    // The internal generator is fixed-seed: identical add sequences
+    // produce identical reservoirs (reproducible percentiles).
+    for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p)) << p;
+}
+
+TEST(CountHistogram, ExactStatsForSmallIntegers)
+{
+    CountHistogram h(256);
+    SampleSet ref;
+    for (int i = 1; i <= 100; i++) {
+        h.add(static_cast<uint64_t>(i));
+        ref.add(static_cast<double>(i));
+    }
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), ref.mean());
+    EXPECT_DOUBLE_EQ(h.max(), ref.max());
+    // Percentiles interpolate between order statistics exactly like
+    // the sample-storing implementation.
+    for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), ref.percentile(p)) << p;
+}
+
+TEST(CountHistogram, ClampsAtTopBucketWithExactMeanMax)
+{
+    CountHistogram h(16);
+    h.add(3);
+    h.add(1000); // Clamps into bucket 16 for percentiles...
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0); // ...but max/mean stay exact.
+    EXPECT_DOUBLE_EQ(h.mean(), 501.5);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 16.0);
+    EXPECT_EQ(h.numBuckets(), 17u); // Fixed at construction: O(1) memory.
+}
+
 TEST(LatencyHistogram, MeanAndCount)
 {
     LatencyHistogram h(100.0, 1.05, 400);
