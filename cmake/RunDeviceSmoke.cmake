@@ -35,18 +35,18 @@ if(NOT n_lines EQUAL 3)
 endif()
 
 list(GET sim_lines 0 header)
-if(NOT header MATCHES ",device,wall_ns$")
+if(NOT header MATCHES ",device,mode,")
     message(FATAL_ERROR
-        "CSV header lacks the device/wall_ns columns: ${header}")
+        "CSV header lacks the device column: ${header}")
 endif()
 
 list(GET sim_lines 1 row_auto)
-if(NOT row_auto MATCHES ",auto,[0-9]+$")
+if(NOT row_auto MATCHES ",auto,closed,")
     message(FATAL_ERROR "first row is not the auto device: ${row_auto}")
 endif()
 
 list(GET sim_lines 2 row_big)
-if(NOT row_big MATCHES ",paper-2tb,[0-9]+$")
+if(NOT row_big MATCHES ",paper-2tb,closed,")
     message(FATAL_ERROR "second row is not paper-2tb: ${row_big}")
 endif()
 

@@ -1,0 +1,60 @@
+# Bundled-trace ingestion smoke: replay the checked-in MSR-format
+# sample (which deliberately contains a header line and one
+# non-monotone timestamp) through leaftl_sim in both closed and
+# open-as-recorded modes and assert that (a) the run succeeds, (b) the
+# parser's diagnostics report exactly the planted defects, and (c) the
+# trace workload produces a row per mode.
+# Invoked by CTest with -DSIM_BIN=<path> -DTRACE_FILE=<path>.
+
+if(NOT SIM_BIN)
+    message(FATAL_ERROR "SIM_BIN not set")
+endif()
+if(NOT TRACE_FILE)
+    message(FATAL_ERROR "TRACE_FILE not set")
+endif()
+
+execute_process(
+    COMMAND ${SIM_BIN}
+            --ftl leaftl
+            --workload trace:${TRACE_FILE}
+            --mode closed,open
+            --ws 4096
+            --prefill 0.25
+    OUTPUT_VARIABLE sim_out
+    ERROR_VARIABLE sim_err
+    RESULT_VARIABLE sim_rc)
+
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR
+        "leaftl_sim exited with ${sim_rc}:\n${sim_out}\n${sim_err}")
+endif()
+
+# The sample plants exactly one malformed line (the CSV header) and
+# one backwards timestamp; the diagnostics must surface both.
+if(NOT sim_err MATCHES "skipped 1 malformed line")
+    message(FATAL_ERROR
+        "parser diagnostics missing the malformed-line count:\n${sim_err}")
+endif()
+if(NOT sim_err MATCHES "clamped 1 non-monotone timestamp")
+    message(FATAL_ERROR
+        "parser diagnostics missing the clamp count:\n${sim_err}")
+endif()
+
+string(STRIP "${sim_out}" sim_out)
+string(REPLACE "\n" ";" sim_lines "${sim_out}")
+list(LENGTH sim_lines n_lines)
+if(NOT n_lines EQUAL 3)
+    message(FATAL_ERROR
+        "expected header + closed/open rows, got ${n_lines}:\n${sim_out}")
+endif()
+
+list(GET sim_lines 1 row_closed)
+if(NOT row_closed MATCHES "trace:" OR NOT row_closed MATCHES ",closed,")
+    message(FATAL_ERROR "missing closed trace row: ${row_closed}")
+endif()
+list(GET sim_lines 2 row_open)
+if(NOT row_open MATCHES ",open,")
+    message(FATAL_ERROR "missing open trace row: ${row_open}")
+endif()
+
+message(STATUS "leaftl_sim bundled-trace smoke OK")

@@ -18,6 +18,7 @@
 #include "util/host_clock.hh"
 #include "ssd/ssd.hh"
 #include "workload/app_models.hh"
+#include "workload/arrival.hh"
 #include "workload/msr_models.hh"
 #include "workload/synthetic.hh"
 #include "workload/trace.hh"
@@ -144,6 +145,37 @@ isNamedModel(const std::vector<std::string> &names, const std::string &name)
     return std::find(names.begin(), names.end(), name) != names.end();
 }
 
+/**
+ * Wrap @a wl per the replay mode and fill the matching RunOptions:
+ * closed runs unshaped with closed admission; every other mode runs
+ * open admission, the rate-driven ones behind an arrival shaper.
+ */
+std::unique_ptr<WorkloadSource>
+applyMode(std::unique_ptr<WorkloadSource> wl, const std::string &mode,
+          double rate, const SimOptions &opts, RunOptions &ropts)
+{
+    if (mode == "closed") {
+        ropts.admission = Admission::Closed;
+        return wl;
+    }
+    ropts.admission = Admission::Open;
+    ShaperSpec spec;
+    spec.rate_iops = rate;
+    spec.seed = opts.seed;
+    spec.duty = opts.burst_duty;
+    if (mode == "open")
+        spec.kind = ShaperKind::AsRecorded;
+    else if (mode == "fixed")
+        spec.kind = ShaperKind::FixedRate;
+    else if (mode == "poisson")
+        spec.kind = ShaperKind::Poisson;
+    else if (mode == "burst")
+        spec.kind = ShaperKind::Burst;
+    else
+        LEAFTL_PANIC("applyMode: unknown mode '" + mode + "'");
+    return shapeArrivals(std::move(wl), spec);
+}
+
 std::string
 fmt(double v)
 {
@@ -180,6 +212,16 @@ usage()
         << "  --device LIST    comma list of device presets: auto (derive\n"
         << "                   the geometry from --ws, default),\n"
         << "                   " << preset_names << "; see --list\n"
+        << "  --mode LIST      comma list of replay modes: closed\n"
+        << "                   (default), open (recorded arrivals,\n"
+        << "                   open-loop latency), fixed, poisson, burst\n"
+        << "                   (arrival shapers driven by --rate)\n"
+        << "  --rate LIST      comma list of offered loads in requests/s\n"
+        << "                   for the fixed/poisson/burst modes\n"
+        << "  --burst-duty F   on-fraction of each burst cycle "
+           "(default 0.25)\n"
+        << "  --trace-strict   fail on malformed trace lines instead of\n"
+        << "                   skipping them\n"
         << "  --jobs N         sweep worker threads (default: hardware\n"
         << "                   concurrency; rows stay in sweep order)\n"
         << "  --requests N     requests per run (default 100000)\n"
@@ -211,6 +253,18 @@ knownWorkloads()
     out.push_back("trace:<path to MSR-Cambridge CSV>");
     out.push_back("fiu:<path to FIU/SPC text trace>");
     return out;
+}
+
+std::vector<std::string>
+knownModes()
+{
+    return {"closed", "open", "fixed", "poisson", "burst"};
+}
+
+bool
+modeUsesRate(const std::string &mode)
+{
+    return mode == "fixed" || mode == "poisson" || mode == "burst";
 }
 
 bool
@@ -322,6 +376,50 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
                 err = "--device list is empty";
                 return false;
             }
+        } else if (arg == "--mode") {
+            if (!need_value(i, value))
+                return false;
+            opts.modes.clear();
+            const auto known = knownModes();
+            for (const auto &name : splitList(value)) {
+                if (std::find(known.begin(), known.end(), name) ==
+                    known.end()) {
+                    err = "unknown mode '" + name +
+                          "' (expected closed, open, fixed, poisson, or "
+                          "burst)";
+                    return false;
+                }
+                opts.modes.push_back(name);
+            }
+            if (opts.modes.empty()) {
+                err = "--mode list is empty";
+                return false;
+            }
+        } else if (arg == "--rate") {
+            if (!need_value(i, value))
+                return false;
+            opts.rates.clear();
+            for (const auto &r : splitList(value)) {
+                double v;
+                if (!parseDouble(r, v) || v < 0.0) {
+                    err = "bad rate '" + r + "'";
+                    return false;
+                }
+                opts.rates.push_back(v);
+            }
+            if (opts.rates.empty()) {
+                err = "--rate list is empty";
+                return false;
+            }
+        } else if (arg == "--burst-duty") {
+            if (!need_value(i, value) ||
+                !parseDouble(value, opts.burst_duty) ||
+                opts.burst_duty <= 0.0 || opts.burst_duty > 1.0) {
+                err = err.empty() ? "bad --burst-duty '" + value + "'" : err;
+                return false;
+            }
+        } else if (arg == "--trace-strict") {
+            opts.trace_strict = true;
         } else if (arg == "--jobs") {
             uint64_t v;
             if (!need_value(i, value) || !parseU64(value, v) || v == 0 ||
@@ -456,11 +554,24 @@ makeWorkload(const std::string &spec, const SimOptions &opts,
             return nullptr;
         }
         probe.close();
+        TraceParseOptions parse_opts;
+        parse_opts.strict = opts.trace_strict;
+        TraceParseStats parse_stats;
         auto reqs = scheme == "trace"
                         ? loadMsrTrace(rest, page_size,
-                                       opts.working_set_pages)
+                                       opts.working_set_pages, parse_opts,
+                                       &parse_stats)
                         : loadFiuTrace(rest, page_size,
-                                       opts.working_set_pages);
+                                       opts.working_set_pages, parse_opts,
+                                       &parse_stats);
+        if (parse_stats.malformed > 0 ||
+            parse_stats.clamped_timestamps > 0) {
+            std::cerr << "leaftl_sim: trace '" << rest << "': "
+                      << parse_stats.parsed << " requests, skipped "
+                      << parse_stats.malformed << " malformed line(s), "
+                      << "clamped " << parse_stats.clamped_timestamps
+                      << " non-monotone timestamp(s)\n";
+        }
         if (reqs.empty()) {
             err = "trace '" + rest + "' parsed to zero requests";
             return nullptr;
@@ -529,15 +640,20 @@ makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts,
 std::string
 csvHeader()
 {
-    // New columns are appended last so every pre-existing column keeps
-    // its index (downstream scripts parse by position). wall_ns is the
-    // host wall-clock time of the run -- the only nondeterministic
-    // column, kept trailing so the rest of a row is reproducible.
+    // New columns are appended after the pre-existing ones so every
+    // historical column keeps its index (downstream scripts parse by
+    // position). wall_ns is the host wall-clock time of the run -- the
+    // only nondeterministic column, kept trailing so stripping it
+    // recovers a reproducible row; the open-loop columns (mode through
+    // p99_write_e2e_us) sit between device and wall_ns.
     return "ftl,workload,gamma,qd,requests,pages,sim_seconds,"
            "throughput_mbps,avg_lat_us,avg_read_lat_us,p50_read_lat_us,"
            "p99_read_lat_us,avg_write_lat_us,mapping_bytes,resident_bytes,"
            "waf,mispredict_ratio,cache_hit_ratio,avg_lookup_levels,"
-           "avg_queue_wait_us,mean_inflight,device,wall_ns";
+           "avg_queue_wait_us,mean_inflight,device,"
+           "mode,rate_iops,offered_iops,achieved_iops,p50_lat_e2e_us,"
+           "p95_lat_e2e_us,p99_lat_e2e_us,p999_lat_e2e_us,"
+           "p99_read_e2e_us,p99_write_e2e_us,wall_ns";
 }
 
 std::string
@@ -563,7 +679,15 @@ csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
         << fmt(res.mispredict_ratio) << ',' << fmt(res.cache_hit_ratio)
         << ',' << fmt(res.avg_lookup_levels) << ','
         << fmt(res.avg_queue_wait_us) << ',' << fmt(res.mean_inflight)
-        << ',' << device << ',' << res.host_wall_ns;
+        << ',' << device << ',' << res.mode << ',' << fmt(res.rate_iops)
+        << ',' << fmt(res.offered_iops) << ',' << fmt(res.achieved_iops)
+        << ',' << fmt(res.e2e_all.percentile(50.0) / 1000.0) << ','
+        << fmt(res.e2e_all.percentile(95.0) / 1000.0) << ','
+        << fmt(res.e2e_all.percentile(99.0) / 1000.0) << ','
+        << fmt(res.e2e_all.percentile(99.9) / 1000.0) << ','
+        << fmt(res.e2e_read.percentile(99.0) / 1000.0) << ','
+        << fmt(res.e2e_write.percentile(99.0) / 1000.0) << ','
+        << res.host_wall_ns;
     return row.str();
 }
 
@@ -587,10 +711,25 @@ runSweep(const SimOptions &opts, std::ostream &out)
         }
     }
 
+    // A rate-driven mode without a positive rate cannot produce an
+    // arrival process; reject the sweep up front.
+    for (const std::string &mode : opts.modes) {
+        if (!modeUsesRate(mode))
+            continue;
+        for (const double rate : opts.rates) {
+            if (rate <= 0.0) {
+                std::cerr << "leaftl_sim: mode '" << mode
+                          << "' needs --rate > 0\n";
+                return 1;
+            }
+        }
+    }
+
     // Enumerate output rows in sweep order, deduplicating the actual
-    // simulations: gamma only changes LeaFTL, so for DFTL/SFTL each
-    // (ftl, workload, qd) runs once and every requested gamma reuses
-    // the result -- the output still has one row per combination.
+    // simulations: gamma only changes LeaFTL and --rate only changes
+    // the rate-driven modes, so each insensitive combination runs once
+    // and every requested value reuses the result -- the output still
+    // has one row per combination.
     struct Task
     {
         FtlKind ftl;
@@ -598,6 +737,8 @@ runSweep(const SimOptions &opts, std::ostream &out)
         uint32_t gamma;
         uint32_t qd;
         std::string device;
+        std::string mode;
+        double rate;
     };
     struct Row
     {
@@ -605,12 +746,16 @@ runSweep(const SimOptions &opts, std::ostream &out)
         std::string spec;
         uint32_t gamma;
         std::string device;
+        std::string mode;
+        double rate;
         size_t task;
     };
     constexpr uint32_t kAnyGamma = 0xFFFFFFFFu;
+    constexpr double kAnyRate = -1.0;
     std::vector<Task> tasks;
     std::vector<Row> rows;
-    std::map<std::tuple<int, std::string, std::string, uint32_t, uint32_t>,
+    std::map<std::tuple<int, std::string, std::string, uint32_t, uint32_t,
+                        std::string, double>,
              size_t>
         seen;
     for (const FtlKind ftl : opts.ftls) {
@@ -618,17 +763,26 @@ runSweep(const SimOptions &opts, std::ostream &out)
             for (const std::string &device : opts.devices) {
                 for (const uint32_t gamma : opts.gammas) {
                     for (const uint32_t qd : opts.queue_depths) {
-                        const bool gamma_sensitive =
-                            ftl == FtlKind::LeaFTL;
-                        const auto key = std::make_tuple(
-                            static_cast<int>(ftl), spec, device,
-                            gamma_sensitive ? gamma : kAnyGamma, qd);
-                        const auto [it, inserted] =
-                            seen.emplace(key, tasks.size());
-                        if (inserted)
-                            tasks.push_back({ftl, spec, gamma, qd, device});
-                        rows.push_back({ftl, spec, gamma, device,
-                                        it->second});
+                        for (const std::string &mode : opts.modes) {
+                            for (const double rate : opts.rates) {
+                                const bool gamma_sensitive =
+                                    ftl == FtlKind::LeaFTL;
+                                const bool rate_sensitive =
+                                    modeUsesRate(mode);
+                                const auto key = std::make_tuple(
+                                    static_cast<int>(ftl), spec, device,
+                                    gamma_sensitive ? gamma : kAnyGamma,
+                                    qd, mode,
+                                    rate_sensitive ? rate : kAnyRate);
+                                const auto [it, inserted] =
+                                    seen.emplace(key, tasks.size());
+                                if (inserted)
+                                    tasks.push_back({ftl, spec, gamma, qd,
+                                                     device, mode, rate});
+                                rows.push_back({ftl, spec, gamma, device,
+                                                mode, rate, it->second});
+                            }
+                        }
                     }
                 }
             }
@@ -660,7 +814,9 @@ runSweep(const SimOptions &opts, std::ostream &out)
                     std::cerr << "leaftl_sim: running "
                               << ftlKindName(t.ftl) << " / " << t.spec
                               << " / gamma=" << t.gamma << " / qd=" << t.qd
-                              << " / device=" << t.device << " ...\n";
+                              << " / device=" << t.device << " / mode="
+                              << t.mode << " / rate=" << t.rate
+                              << " ...\n";
                 }
                 std::string err;
                 auto wl = makeWorkload(t.spec, opts, err, &trace_cache);
@@ -671,9 +827,14 @@ runSweep(const SimOptions &opts, std::ostream &out)
                         opts.prefill_frac * opts.working_set_pages);
                     ropts.mixed_prefill = true;
                     ropts.queue_depth = t.qd;
+                    wl = applyMode(std::move(wl), t.mode, t.rate, opts,
+                                   ropts);
                     HostTimer timer;
                     results[i] = Runner::replay(ssd, *wl, ropts);
                     results[i].host_wall_ns = timer.elapsedNs();
+                    results[i].mode = t.mode;
+                    results[i].rate_iops =
+                        modeUsesRate(t.mode) ? t.rate : 0.0;
                 } else {
                     errors[i] = err;
                 }
@@ -712,9 +873,15 @@ runSweep(const SimOptions &opts, std::ostream &out)
         }
         const SsdConfig cfg =
             makeConfig(row.ftl, row.gamma, opts, row.device);
-        out << csvRow(results[row.task], row.ftl, row.gamma, cfg,
-                      row.device)
-            << '\n';
+        // Like gamma, a deduplicated row echoes its own requested
+        // (mode, rate), not the shared task's. Emission is serial and
+        // the worker is done with this slot, so patching the echoed
+        // fields in place (instead of deep-copying the histograms)
+        // is safe even when several rows share one task.
+        RunResult &res = results[row.task];
+        res.mode = row.mode;
+        res.rate_iops = modeUsesRate(row.mode) ? row.rate : 0.0;
+        out << csvRow(res, row.ftl, row.gamma, cfg, row.device) << '\n';
         out.flush();
     }
     for (auto &th : pool)

@@ -2,12 +2,13 @@
  * @file
  * The `leaftl_sim` comparison driver: one reproducible entry point
  * that composes Runner, Ssd, the three FTLs, and any workload source,
- * sweeps gamma, queue depth, and device preset, and emits one CSV row
- * per (ftl, workload, gamma, qd, device) combination. The paper's figures (and
- * future scaling experiments) are sweeps over exactly this cross
- * product. Combinations are independent, so the sweep fans out over a
- * small thread pool (--jobs); rows are always emitted in combination
- * order, making the CSV byte-identical for any job count.
+ * sweeps gamma, queue depth, device preset, replay mode, and offered
+ * load, and emits one CSV row per (ftl, workload, gamma, qd, device,
+ * mode, rate) combination. The paper's figures (and future scaling
+ * experiments) are sweeps over exactly this cross product.
+ * Combinations are independent, so the sweep fans out over a small
+ * thread pool (--jobs); rows are always emitted in combination order,
+ * making the CSV byte-identical for any job count.
  *
  * Kept as a library (main() lives in main.cc) so tests can drive the
  * parser and the sweep without spawning a process.
@@ -55,6 +56,28 @@ struct SimOptions
     std::vector<uint32_t> queue_depths = {1};
 
     /**
+     * Replay-mode sweep. "closed" is the historical closed-loop
+     * admission; the rest run open-loop (end-to-end latency measured
+     * from the arrival tick) with the named arrival shaper:
+     * "open" keeps recorded arrivals, "fixed"/"poisson"/"burst"
+     * rewrite them at each --rate (requests/s).
+     */
+    std::vector<std::string> modes = {"closed"};
+
+    /**
+     * Offered-load sweep in requests/s, used by the rate-driven modes
+     * (fixed/poisson/burst). Closed/open rows ignore it (and are
+     * deduplicated across rates, like gamma for non-learned FTLs).
+     */
+    std::vector<double> rates = {0.0};
+
+    /** Duty cycle of the burst shaper (fraction of a cycle on). */
+    double burst_duty = 0.25;
+
+    /** Fail fast on malformed trace lines instead of skipping them. */
+    bool trace_strict = false;
+
+    /**
      * Device sweep: "auto" (geometry derived from the working set,
      * the historical behavior) or a named preset from
      * flash/presets.hh (tiny, paper, paper-2tb). LPAs wrap modulo the
@@ -96,6 +119,12 @@ std::string usage();
 
 /** Known workload specs (for --list and error messages). */
 std::vector<std::string> knownWorkloads();
+
+/** Known --mode tokens, in presentation order. */
+std::vector<std::string> knownModes();
+
+/** Whether @a mode consumes the --rate axis (fixed/poisson/burst). */
+bool modeUsesRate(const std::string &mode);
 
 /**
  * Parsed trace files keyed by workload spec. A sweep parses each

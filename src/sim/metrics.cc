@@ -3,6 +3,12 @@
 namespace leaftl
 {
 
+const char *
+admissionName(Admission mode)
+{
+    return mode == Admission::Open ? "open" : "closed";
+}
+
 double
 normalizeTo(double value, double baseline)
 {

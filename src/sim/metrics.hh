@@ -13,9 +13,29 @@
 
 #include "ssd/ssd.hh"
 #include "util/common.hh"
+#include "util/stats.hh"
 
 namespace leaftl
 {
+
+/**
+ * Admission model of a replay (§4.1 evaluation methodology).
+ *
+ * Closed is the WiscSim-inherited model: latency is measured from the
+ * moment the back-pressured loop could submit the request, so the
+ * offered load implicitly adapts to device speed and tail latency
+ * stays bounded. Open is the NVMe-style load-testing model: latency
+ * is measured end-to-end from the request's (shaped) arrival tick, so
+ * queue wait accumulates when the device falls behind and the
+ * latency-vs-offered-load hockey stick becomes visible.
+ */
+enum class Admission : uint8_t
+{
+    Closed,
+    Open,
+};
+
+const char *admissionName(Admission mode);
 
 /** Results of a Runner::replay. */
 struct RunResult
@@ -26,7 +46,14 @@ struct RunResult
     uint64_t requests = 0;
     uint64_t pages_touched = 0;
 
-    /** Simulated time at the end of the replay (after the drain). */
+    /**
+     * Simulated duration of the measured phase (through the last
+     * completion). Open-loop runs start their arrival process at the
+     * post-prefill idle horizon, and that warm-up shift is excluded
+     * here — so sim_time_ns, mean_inflight, throughput, and
+     * achieved_iops are all denominated in the same window. Closed
+     * runs measure from tick 0 (the historical behavior).
+     */
     Tick sim_time_ns = 0;
 
     /**
@@ -65,6 +92,41 @@ struct RunResult
     double avg_write_latency_us = 0.0;
     /** Mean over all requests (read+write), the figures' "Perf". */
     double avg_latency_us = 0.0;
+
+    /** Admission model the replay ran under. */
+    Admission admission = Admission::Closed;
+    /**
+     * Mode label for reporting: admissionName(admission) by default;
+     * sweep drivers overwrite it with their mode token (e.g.
+     * "poisson") so the CSV names the arrival shaper, not just the
+     * admission model.
+     */
+    std::string mode = "closed";
+    /** Configured shaper rate in requests/s (0 = no shaper). */
+    double rate_iops = 0.0;
+    /**
+     * Measured arrival rate in requests/s: (requests - 1) over the
+     * first-to-last arrival span. This is the load the workload
+     * *offered*; under overload it exceeds achieved_iops.
+     */
+    double offered_iops = 0.0;
+    /** Completion rate in requests/s: requests over simulated time. */
+    double achieved_iops = 0.0;
+
+    /**
+     * End-to-end request latency distributions in ns. The measurement
+     * origin depends on the admission model (arrival tick when open,
+     * submittable tick when closed); the endpoint is always the
+     * completion tick, so queue wait and service are both included.
+     * Percentiles (p50/p95/p99/p99.9) come straight from these.
+     */
+    LatencyHistogram e2e_all;
+    LatencyHistogram e2e_read;
+    LatencyHistogram e2e_write;
+    /** Service-only (submission -> completion) distribution in ns. */
+    LatencyHistogram service;
+    /** Submission-stall (ready -> submission) distribution in ns. */
+    LatencyHistogram queue_wait;
 
     uint64_t mapping_bytes = 0;      ///< Full mapping size (Fig. 15/19).
     uint64_t resident_bytes = 0;     ///< DRAM-resident share.

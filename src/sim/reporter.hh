@@ -14,6 +14,8 @@
 namespace leaftl
 {
 
+class LatencyHistogram;
+
 /** Fixed-width text table. */
 class TextTable
 {
@@ -37,6 +39,21 @@ class TextTable
 void printCdf(const std::string &title,
               const std::vector<std::pair<double, double>> &cdf,
               size_t max_points = 40);
+
+/**
+ * The tail-latency summary row every open-loop report shares:
+ * p50/p95/p99/p99.9/max of @a hist, formatted in us with @a precision
+ * decimals. Pairs with latencyPercentileHeaders() for TextTable use.
+ */
+std::vector<std::string> latencyPercentileCells(const LatencyHistogram &hist,
+                                                int precision = 1);
+
+/** Column titles matching latencyPercentileCells. */
+std::vector<std::string> latencyPercentileHeaders();
+
+/** One-line "title: p50=... p95=... p99=... p99.9=... max=..." print. */
+void printLatencyPercentiles(const std::string &title,
+                             const LatencyHistogram &hist);
 
 } // namespace leaftl
 

@@ -65,15 +65,31 @@ Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
     res.ftl = ssd.ftl().name();
     const uint32_t qd = std::max<uint32_t>(1, opts.queue_depth);
     res.queue_depth = qd;
+    const bool open = opts.admission == Admission::Open;
+    res.admission = opts.admission;
+    res.mode = admissionName(opts.admission);
 
     EventQueue inflight;
     Tick clock = 0;       // Latest submission/retirement processed.
     Tick last_submit = 0; // Submissions are FIFO (NVMe SQ order).
     Tick area_cursor = 0; // Inflight-integral sweep position.
     double inflight_area = 0.0;
-    double lat_sum = 0.0;
-    double wait_sum = 0.0;
-    Tick max_wait = 0;
+    Tick first_arrival = 0; // Offered-load window.
+    Tick last_arrival = 0;
+
+    // Open-loop runs measure from the arrival tick, so the arrival
+    // process must not start while the channels are still draining the
+    // prefill backlog -- every early request would charge that fixed
+    // backlog to its own latency. Shift all arrivals past the horizon
+    // where the warmed device has gone fully idle. (Closed mode keeps
+    // the historical behavior: the backlog is absorbed by the
+    // back-pressured loop and never counted as request latency.)
+    Tick arrival_base = 0;
+    if (open) {
+        const ChannelTimer &ch = ssd.channels();
+        for (uint32_t c = 0; c < ch.numChannels(); c++)
+            arrival_base = std::max(arrival_base, ch.busyUntil(c));
+    }
 
     // Advance the time-weighted inflight integral to tick t with the
     // current queue population.
@@ -104,6 +120,7 @@ Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
 
     IoRequest req;
     while (workload.next(req)) {
+        req.arrival += arrival_base;
         // The request becomes submittable once it has arrived and its
         // predecessor has been submitted (in-order submission queue).
         const Tick ready = std::max(req.arrival, last_submit);
@@ -123,10 +140,24 @@ Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
         res.max_inflight =
             std::max<uint64_t>(res.max_inflight, inflight.size());
 
-        const Tick wait = submit_at - ready;
-        wait_sum += static_cast<double>(wait);
-        max_wait = std::max(max_wait, wait);
-        lat_sum += static_cast<double>(done - submit_at);
+        res.queue_wait.add(static_cast<double>(submit_at - ready));
+        res.service.add(static_cast<double>(done - submit_at));
+        // End-to-end latency from the mode's measurement origin. Open
+        // mode anchors at the shaped arrival tick, so when the device
+        // falls behind the offered load the accumulated queue wait
+        // lands in the tail percentiles; closed mode anchors at the
+        // submittable tick (historical semantics).
+        const Tick origin = open ? req.arrival : ready;
+        const double e2e = static_cast<double>(done - origin);
+        res.e2e_all.add(e2e);
+        if (req.op == Op::Read)
+            res.e2e_read.add(e2e);
+        else
+            res.e2e_write.add(e2e);
+
+        if (res.requests == 0)
+            first_arrival = req.arrival;
+        last_arrival = std::max(last_arrival, req.arrival);
         res.pages_touched += req.npages;
         res.requests++;
     }
@@ -135,20 +166,41 @@ Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
 
     if (opts.drain_at_end)
         ssd.drainBuffer(clock);
-    res.sim_time_ns = clock;
+    // All time-denominated results use the measured window: open-loop
+    // runs start their arrival process at the post-prefill idle
+    // horizon, and counting that dead time would dilute throughput and
+    // mean inflight inconsistently with achieved_iops. Closed mode has
+    // arrival_base = 0, so nothing changes there. (The inflight
+    // integral over the pre-arrival window is 0, so dividing by the
+    // window is exact, not an approximation.)
+    const Tick measured = clock > arrival_base ? clock - arrival_base : 0;
+    res.sim_time_ns = measured;
     res.mean_inflight =
-        clock ? inflight_area / static_cast<double>(clock) : 0.0;
-    res.avg_queue_wait_us =
-        res.requests ? wait_sum / res.requests / 1000.0 : 0.0;
-    res.max_queue_wait_us = static_cast<double>(max_wait) / 1000.0;
+        measured ? inflight_area / static_cast<double>(measured) : 0.0;
+    // The histograms accumulate their sums in submission order, so
+    // these means are bit-identical to the scalar accumulators they
+    // replaced.
+    res.avg_queue_wait_us = res.queue_wait.mean() / 1000.0;
+    res.max_queue_wait_us = res.queue_wait.max() / 1000.0;
+
+    if (res.requests > 1 && last_arrival > first_arrival) {
+        res.offered_iops = static_cast<double>(res.requests - 1) /
+                           static_cast<double>(last_arrival -
+                                               first_arrival) *
+                           static_cast<double>(kSecond);
+    }
+    if (measured > 0) {
+        res.achieved_iops = static_cast<double>(res.requests) /
+                            static_cast<double>(measured) *
+                            static_cast<double>(kSecond);
+    }
 
     const SsdStats &st = ssd.stats();
     res.ssd = st;
     res.avg_read_latency_us = st.read_latency.mean() / 1000.0;
     res.p99_read_latency_us = st.read_latency.percentile(99.0) / 1000.0;
     res.avg_write_latency_us = st.write_latency.mean() / 1000.0;
-    res.avg_latency_us =
-        res.requests ? lat_sum / res.requests / 1000.0 : 0.0;
+    res.avg_latency_us = res.service.mean() / 1000.0;
 
     res.mapping_bytes = ssd.ftl().fullMappingBytes();
     res.resident_bytes = ssd.ftl().residentMappingBytes();

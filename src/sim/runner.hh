@@ -12,6 +12,23 @@
  * WiscSim model (one outstanding request) and reproduces it exactly;
  * larger depths let concurrent requests overlap across flash channels,
  * the way a real NVMe host keeps the device busy.
+ *
+ * Admission modes (RunOptions::admission) change how latency is
+ * *measured*, not how requests are scheduled -- the submission
+ * sequence, and therefore the device's entire state evolution, is
+ * identical in both modes:
+ *
+ *   - Closed (default, the historical behavior): end-to-end latency is
+ *     measured from the tick the back-pressured loop could submit the
+ *     request, so the offered load adapts to device speed.
+ *   - Open: latency is measured from the request's (shaped) arrival
+ *     tick. When arrivals outpace the device, waiting time accumulates
+ *     without bound and the tail percentiles diverge -- the open-loop
+ *     saturation behavior closed-loop replay can never show.
+ *
+ * Per-request wait + service latencies feed log-bucketed
+ * LatencyHistograms in the RunResult (read/write/all), giving
+ * p50/p95/p99/p99.9 and offered-vs-achieved throughput per run.
  */
 
 #ifndef LEAFTL_SIM_RUNNER_HH
@@ -52,6 +69,14 @@ struct RunOptions
      * values < 1 are treated as 1.
      */
     uint32_t queue_depth = 1;
+    /**
+     * Latency-measurement origin: Closed measures from the tick a
+     * request became submittable (historical closed-loop semantics,
+     * bit-for-bit identical results), Open from its arrival tick
+     * (open-loop end-to-end latency; pair with an ArrivalShaper to
+     * control the offered load).
+     */
+    Admission admission = Admission::Closed;
 };
 
 /** The replay driver. */

@@ -11,15 +11,13 @@ namespace leaftl
 BlockManager::BlockManager(FlashArray &flash)
     : flash_(flash),
       valid_count_(flash.geometry().totalBlocks(), 0),
+      pvt_(flash.geometry().totalBlocks()),
       in_free_pool_(flash.geometry().totalBlocks(), true)
 {
     const Geometry &geom = flash.geometry();
-    pvt_.reserve(geom.totalBlocks());
     std::vector<uint32_t> order;
-    for (uint32_t b = 0; b < geom.totalBlocks(); b++) {
-        pvt_.emplace_back(geom.pages_per_block);
+    for (uint32_t b = 0; b < geom.totalBlocks(); b++)
         order.push_back(b);
-    }
     // Shuffle the initial pool (deterministically): consecutive
     // allocations must not yield numerically adjacent blocks, or
     // cross-block PPA contiguity would arise that no real allocator
@@ -50,9 +48,26 @@ BlockManager::releaseBlock(uint32_t block)
     LEAFTL_ASSERT(!in_free_pool_[block], "double release of block");
     LEAFTL_ASSERT(valid_count_[block] == 0,
                   "releasing block with valid pages");
-    pvt_[block].resize(flash_.geometry().pages_per_block);
+    // An erased block has no valid pages; its bitmap (if any) goes
+    // back to the allocator, mirroring FlashArray's per-block LPA
+    // store release on erase.
+    if (pvt_[block]) {
+        pvt_[block].reset();
+        resident_pvt_--;
+    }
     free_pool_.push_back(block);
     in_free_pool_[block] = true;
+}
+
+Bitmap &
+BlockManager::materializePvt(uint32_t block)
+{
+    if (!pvt_[block]) {
+        pvt_[block] =
+            std::make_unique<Bitmap>(flash_.geometry().pages_per_block);
+        resident_pvt_++;
+    }
+    return *pvt_[block];
 }
 
 void
@@ -60,8 +75,9 @@ BlockManager::markValid(Ppa ppa)
 {
     const uint32_t block = flash_.geometry().blockOf(ppa);
     const uint32_t page = flash_.geometry().pageInBlock(ppa);
-    LEAFTL_ASSERT(!pvt_[block].test(page), "page already valid");
-    pvt_[block].set(page);
+    Bitmap &pvt = materializePvt(block);
+    LEAFTL_ASSERT(!pvt.test(page), "page already valid");
+    pvt.set(page);
     valid_count_[block]++;
 }
 
@@ -70,8 +86,9 @@ BlockManager::invalidate(Ppa ppa)
 {
     const uint32_t block = flash_.geometry().blockOf(ppa);
     const uint32_t page = flash_.geometry().pageInBlock(ppa);
-    LEAFTL_ASSERT(pvt_[block].test(page), "invalidating non-valid page");
-    pvt_[block].clear(page);
+    LEAFTL_ASSERT(pvt_[block] && pvt_[block]->test(page),
+                  "invalidating non-valid page");
+    pvt_[block]->clear(page);
     LEAFTL_ASSERT(valid_count_[block] > 0, "BVC underflow");
     valid_count_[block]--;
 }
@@ -80,7 +97,8 @@ bool
 BlockManager::isValid(Ppa ppa) const
 {
     const uint32_t block = flash_.geometry().blockOf(ppa);
-    return pvt_[block].test(flash_.geometry().pageInBlock(ppa));
+    return pvt_[block] &&
+           pvt_[block]->test(flash_.geometry().pageInBlock(ppa));
 }
 
 uint32_t
@@ -145,13 +163,24 @@ std::vector<std::pair<Lpa, Ppa>>
 BlockManager::validPages(uint32_t block) const
 {
     std::vector<std::pair<Lpa, Ppa>> pages;
+    if (!pvt_[block])
+        return pages; // Never programmed since erase: nothing valid.
     const Geometry &geom = flash_.geometry();
     const Ppa first = geom.firstPpa(block);
     for (uint32_t i = 0; i < geom.pages_per_block; i++) {
-        if (pvt_[block].test(i))
+        if (pvt_[block]->test(i))
             pages.emplace_back(flash_.peekLpa(first + i), first + i);
     }
     return pages;
+}
+
+uint64_t
+BlockManager::pvtResidentBytes() const
+{
+    const uint64_t per_bitmap =
+        sizeof(Bitmap) +
+        ceilDiv(flash_.geometry().pages_per_block, 64) * sizeof(uint64_t);
+    return pvt_.size() * sizeof(pvt_[0]) + resident_pvt_ * per_bitmap;
 }
 
 uint32_t

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -20,7 +21,17 @@
 namespace leaftl
 {
 
-/** Free pool + validity metadata + GC victim policy. */
+/**
+ * Free pool + validity metadata + GC victim policy.
+ *
+ * Memory model: like FlashArray's page-LPA store, the PVT is sparse at
+ * block granularity. A block's validity bitmap is materialized on its
+ * first markValid and released when the erased block returns to the
+ * free pool, so PVT memory is O(totalBlocks + live blocks *
+ * pages_per_block / 8) instead of O(totalPages / 8) -- at the paper's
+ * 2 TB scale that is the difference between ~16 MB always-resident and
+ * a footprint that tracks the live working set.
+ */
 class BlockManager
 {
   public:
@@ -72,12 +83,26 @@ class BlockManager
     /** Erase-count spread across all blocks (wear-leveling metric). */
     uint32_t eraseSpread() const;
 
+    /** Blocks whose PVT bitmap is currently materialized. */
+    size_t residentPvtBlocks() const { return resident_pvt_; }
+
+    /**
+     * Bytes of PVT state currently resident: the fixed per-block
+     * pointer table plus one bitmap per materialized block.
+     */
+    uint64_t pvtResidentBytes() const;
+
   private:
+    /** The block's bitmap, allocated (all-invalid) on first use. */
+    Bitmap &materializePvt(uint32_t block);
+
     FlashArray &flash_;
     std::deque<uint32_t> free_pool_;
     std::vector<uint32_t> valid_count_; ///< BVC.
-    std::vector<Bitmap> pvt_;           ///< Per-block validity bitmap.
+    /** Per-block validity bitmap, materialized on first markValid. */
+    std::vector<std::unique_ptr<Bitmap>> pvt_;
     std::vector<bool> in_free_pool_;
+    size_t resident_pvt_ = 0;
 };
 
 } // namespace leaftl

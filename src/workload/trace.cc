@@ -8,19 +8,40 @@
 namespace leaftl
 {
 
+namespace
+{
+
+/** Drop or die on a malformed line, per the parse policy. */
+void
+reportMalformed(const std::string &path, uint64_t line_no,
+                const TraceParseOptions &opts, TraceParseStats &stats)
+{
+    if (opts.strict) {
+        LEAFTL_FATAL("malformed trace line " + std::to_string(line_no) +
+                     " in " + path);
+    }
+    stats.malformed++;
+}
+
+} // namespace
+
 std::vector<IoRequest>
-loadMsrTrace(const std::string &path, uint32_t page_size, uint64_t lpa_space)
+loadMsrTrace(const std::string &path, uint32_t page_size, uint64_t lpa_space,
+             const TraceParseOptions &opts, TraceParseStats *stats_out)
 {
     std::ifstream in(path);
     if (!in)
         LEAFTL_FATAL("cannot open trace file: " + path);
 
     std::vector<IoRequest> reqs;
+    TraceParseStats stats;
     std::string line;
     uint64_t first_ts = 0;
+    uint64_t line_no = 0;
     bool have_first = false;
 
     while (std::getline(in, line)) {
+        line_no++;
         if (line.empty() || line[0] == '#')
             continue;
         std::stringstream ss(line);
@@ -29,7 +50,8 @@ loadMsrTrace(const std::string &path, uint32_t page_size, uint64_t lpa_space)
             !std::getline(ss, disk, ',') || !std::getline(ss, type, ',') ||
             !std::getline(ss, offset_s, ',') ||
             !std::getline(ss, size_s, ',')) {
-            continue; // Malformed line: skip.
+            reportMalformed(path, line_no, opts, stats);
+            continue;
         }
         std::getline(ss, resp, ','); // Optional.
 
@@ -39,10 +61,22 @@ loadMsrTrace(const std::string &path, uint32_t page_size, uint64_t lpa_space)
             offset = std::stoull(offset_s);
             size = std::stoull(size_s);
         } catch (...) {
-            continue; // Header or garbage line.
-        }
-        if (size == 0)
+            // Real MSR archives conventionally open with a column
+            // header ("Timestamp,Hostname,..."); a non-numeric first
+            // line is that header, not corruption, so it is skipped
+            // (and counted) even under strict mode. Anything later is
+            // garbage.
+            if (line_no == 1) {
+                stats.malformed++;
+                continue;
+            }
+            reportMalformed(path, line_no, opts, stats);
             continue;
+        }
+        if (size == 0) {
+            reportMalformed(path, line_no, opts, stats);
+            continue;
+        }
 
         if (!have_first) {
             first_ts = ts;
@@ -59,16 +93,27 @@ loadMsrTrace(const std::string &path, uint32_t page_size, uint64_t lpa_space)
         req.lpa = static_cast<Lpa>(lpa);
         req.npages = static_cast<uint32_t>(
             ceilDiv(size + offset % page_size, page_size));
-        // Windows 100ns ticks -> nanoseconds.
-        req.arrival = (ts - first_ts) * 100;
+        // Windows 100ns ticks -> nanoseconds. A record timestamped
+        // before the trace's first record would wrap the unsigned
+        // subtraction into an astronomically late arrival; clamp it to
+        // the origin and count the repair instead.
+        if (ts < first_ts) {
+            stats.clamped_timestamps++;
+            req.arrival = 0;
+        } else {
+            req.arrival = (ts - first_ts) * 100;
+        }
+        stats.parsed++;
         reqs.push_back(req);
     }
+    if (stats_out)
+        *stats_out = stats;
     return reqs;
 }
 
 std::vector<IoRequest>
-loadFiuTrace(const std::string &path, uint32_t page_size,
-             uint64_t lpa_space)
+loadFiuTrace(const std::string &path, uint32_t page_size, uint64_t lpa_space,
+             const TraceParseOptions &opts, TraceParseStats *stats_out)
 {
     std::ifstream in(path);
     if (!in)
@@ -76,21 +121,28 @@ loadFiuTrace(const std::string &path, uint32_t page_size,
 
     constexpr uint64_t kSector = 512;
     std::vector<IoRequest> reqs;
+    TraceParseStats stats;
     std::string line;
     double first_ts = 0.0;
+    uint64_t line_no = 0;
     bool have_first = false;
 
     while (std::getline(in, line)) {
+        line_no++;
         if (line.empty() || line[0] == '#')
             continue;
         std::stringstream ss(line);
         double ts;
         uint64_t pid, lba, size_blocks;
         std::string process, op;
-        if (!(ss >> ts >> pid >> process >> lba >> size_blocks >> op))
+        if (!(ss >> ts >> pid >> process >> lba >> size_blocks >> op)) {
+            reportMalformed(path, line_no, opts, stats);
             continue;
-        if (size_blocks == 0)
+        }
+        if (size_blocks == 0) {
+            reportMalformed(path, line_no, opts, stats);
             continue;
+        }
         if (!have_first) {
             first_ts = ts;
             have_first = true;
@@ -106,10 +158,19 @@ loadFiuTrace(const std::string &path, uint32_t page_size,
         req.lpa = static_cast<Lpa>(lpa);
         req.npages = static_cast<uint32_t>(ceilDiv(
             size_blocks * kSector + byte_off % page_size, page_size));
-        req.arrival =
-            static_cast<Tick>((ts - first_ts) * 1e9); // Seconds -> ns.
+        // Seconds -> ns; clamp a backwards timestamp to the origin
+        // (casting a negative delta to Tick would wrap).
+        if (ts < first_ts) {
+            stats.clamped_timestamps++;
+            req.arrival = 0;
+        } else {
+            req.arrival = static_cast<Tick>((ts - first_ts) * 1e9);
+        }
+        stats.parsed++;
         reqs.push_back(req);
     }
+    if (stats_out)
+        *stats_out = stats;
     return reqs;
 }
 

@@ -24,18 +24,52 @@ namespace leaftl
 {
 
 /**
+ * What a trace parse skipped or repaired. Real trace archives contain
+ * header lines, truncated records, and timestamp glitches; the parsers
+ * tolerate all of them by default but report exactly what happened so
+ * a mostly-garbage file cannot masquerade as a valid trace.
+ */
+struct TraceParseStats
+{
+    uint64_t parsed = 0;    ///< Requests produced.
+    uint64_t malformed = 0; ///< Lines dropped (bad fields / zero size).
+    /**
+     * Records whose timestamp ran backwards past the trace's first
+     * timestamp. The raw subtraction would wrap to a huge arrival
+     * tick; such records are clamped to arrival 0 instead.
+     */
+    uint64_t clamped_timestamps = 0;
+};
+
+/** Parse policy shared by the trace loaders. */
+struct TraceParseOptions
+{
+    /**
+     * Fail fast (LEAFTL_FATAL) on the first malformed line instead of
+     * silently dropping it. Timestamp clamps are repairs, not errors,
+     * and never trip strict mode; neither does a conventional CSV
+     * column header on the first line of an MSR trace.
+     */
+    bool strict = false;
+};
+
+/**
  * Parse an MSR-Cambridge CSV trace.
  *
  * @param path File path.
  * @param page_size Flash page size for byte -> page conversion.
  * @param lpa_space Requests are wrapped modulo this page count
  *                  (0 = no wrapping).
+ * @param opts Parse policy (default: tolerant).
+ * @param stats Optional out-param receiving parse diagnostics.
  * @return Parsed requests, in file order, arrival-normalized to start
- *         at zero.
+ *         at zero (non-monotone timestamps clamp to arrival 0).
  */
 std::vector<IoRequest> loadMsrTrace(const std::string &path,
                                     uint32_t page_size,
-                                    uint64_t lpa_space = 0);
+                                    uint64_t lpa_space = 0,
+                                    const TraceParseOptions &opts = {},
+                                    TraceParseStats *stats = nullptr);
 
 /**
  * Parse an FIU/SPC-style trace: whitespace-separated
@@ -46,10 +80,14 @@ std::vector<IoRequest> loadMsrTrace(const std::string &path,
  * @param page_size Flash page size for sector -> page conversion.
  * @param lpa_space Requests are wrapped modulo this page count
  *                  (0 = no wrapping).
+ * @param opts Parse policy (default: tolerant).
+ * @param stats Optional out-param receiving parse diagnostics.
  */
 std::vector<IoRequest> loadFiuTrace(const std::string &path,
                                     uint32_t page_size,
-                                    uint64_t lpa_space = 0);
+                                    uint64_t lpa_space = 0,
+                                    const TraceParseOptions &opts = {},
+                                    TraceParseStats *stats = nullptr);
 
 /**
  * Replay a fixed request vector. The requests can be shared: several

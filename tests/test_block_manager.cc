@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "flash/flash_array.hh"
 #include "ssd/block_manager.hh"
+#include "util/rng.hh"
 
 namespace leaftl
 {
@@ -167,6 +171,110 @@ TEST(BlockManager, WearVictimRespectsThreshold)
     ASSERT_TRUE(victim.has_value());
     EXPECT_EQ(*victim, cold);
     EXPECT_FALSE(f.bm.pickWearVictim(10).has_value());
+}
+
+TEST(BlockManagerSparsePvt, MaterializesOnFirstValidAndReleasesOnErase)
+{
+    Fixture f;
+    EXPECT_EQ(f.bm.residentPvtBlocks(), 0u);
+    const uint64_t empty_bytes = f.bm.pvtResidentBytes();
+
+    const uint32_t block = f.bm.allocateBlock();
+    EXPECT_EQ(f.bm.residentPvtBlocks(), 0u); // Allocation alone: none.
+    f.fillBlock(block, 100);
+    EXPECT_EQ(f.bm.residentPvtBlocks(), 1u);
+    EXPECT_GT(f.bm.pvtResidentBytes(), empty_bytes);
+
+    // Invalidating every page keeps the bitmap resident (the block is
+    // still programmed); only the erase-and-release path frees it.
+    const Ppa first = f.flash.geometry().firstPpa(block);
+    for (uint32_t i = 0; i < f.flash.geometry().pages_per_block; i++)
+        f.bm.invalidate(first + i);
+    EXPECT_EQ(f.bm.residentPvtBlocks(), 1u);
+
+    f.flash.eraseBlock(block);
+    f.bm.releaseBlock(block);
+    EXPECT_EQ(f.bm.residentPvtBlocks(), 0u);
+    EXPECT_EQ(f.bm.pvtResidentBytes(), empty_bytes);
+
+    // Unmaterialized blocks read as all-invalid.
+    EXPECT_FALSE(f.bm.isValid(first));
+    EXPECT_TRUE(f.bm.validPages(block).empty());
+}
+
+/**
+ * Dense-reference equivalence fuzz: drive the sparse PVT through a
+ * random program/invalidate/erase schedule and mirror every operation
+ * in a plain dense bitmap-per-block model; both views must agree on
+ * every page's validity and every block's valid count at every step.
+ */
+TEST(BlockManagerSparsePvt, MatchesDenseReferenceUnderFuzz)
+{
+    Fixture f;
+    const Geometry &geom = f.flash.geometry();
+    const uint32_t ppb = geom.pages_per_block;
+    std::vector<std::vector<bool>> dense(geom.totalBlocks(),
+                                         std::vector<bool>(ppb, false));
+
+    Rng rng(0x5BA125E);
+    std::vector<uint32_t> open_blocks;
+    for (int step = 0; step < 2000; step++) {
+        const int action = static_cast<int>(rng.nextBounded(10));
+        if (action < 5 || open_blocks.empty()) {
+            // Program-and-validate a fresh block (partially or fully).
+            if (f.bm.freeBlocks() == 0)
+                continue;
+            const uint32_t b = f.bm.allocateBlock();
+            const uint32_t pages =
+                1 + static_cast<uint32_t>(rng.nextBounded(ppb));
+            const Ppa first = geom.firstPpa(b);
+            for (uint32_t i = 0; i < pages; i++) {
+                f.flash.programPage(first + i, 7000 + i);
+                f.bm.markValid(first + i);
+                dense[b][i] = true;
+            }
+            open_blocks.push_back(b);
+        } else if (action < 8) {
+            // Invalidate a random valid page of a random live block.
+            const uint32_t b = open_blocks[rng.nextBounded(
+                open_blocks.size())];
+            const uint32_t p = static_cast<uint32_t>(rng.nextBounded(ppb));
+            if (dense[b][p]) {
+                f.bm.invalidate(geom.firstPpa(b) + p);
+                dense[b][p] = false;
+            }
+        } else {
+            // Erase-and-release a fully invalidated block.
+            const size_t idx = rng.nextBounded(open_blocks.size());
+            const uint32_t b = open_blocks[idx];
+            for (uint32_t p = 0; p < ppb; p++) {
+                if (dense[b][p]) {
+                    f.bm.invalidate(geom.firstPpa(b) + p);
+                    dense[b][p] = false;
+                }
+            }
+            f.flash.eraseBlock(b);
+            f.bm.releaseBlock(b);
+            open_blocks.erase(open_blocks.begin() +
+                              static_cast<ptrdiff_t>(idx));
+        }
+
+        // Full-state comparison against the dense reference.
+        size_t resident = 0;
+        for (uint32_t b = 0; b < geom.totalBlocks(); b++) {
+            uint32_t expect_count = 0;
+            for (uint32_t p = 0; p < ppb; p++) {
+                EXPECT_EQ(f.bm.isValid(geom.firstPpa(b) + p), dense[b][p])
+                    << "step " << step << " block " << b << " page " << p;
+                expect_count += dense[b][p] ? 1 : 0;
+            }
+            EXPECT_EQ(f.bm.validCount(b), expect_count);
+            EXPECT_EQ(f.bm.validPages(b).size(), expect_count);
+        }
+        // Residency never exceeds the blocks programmed since erase.
+        resident = f.bm.residentPvtBlocks();
+        EXPECT_LE(resident, open_blocks.size());
+    }
 }
 
 } // namespace

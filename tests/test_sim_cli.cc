@@ -285,11 +285,12 @@ TEST(SimCliSweep, DeviceAxisEmitsOneRowEachWithTrailingColumn)
     std::istringstream lines(out.str());
     std::string line;
     ASSERT_TRUE(std::getline(lines, line));
-    // device and wall_ns are appended last so pre-existing column
-    // indices hold; wall_ns (host time, nondeterministic) is trailing
-    // so stripping one column recovers a reproducible row.
-    ASSERT_GE(line.size(), 15u);
-    EXPECT_EQ(line.substr(line.size() - 15), ",device,wall_ns");
+    // New columns are appended after device so pre-existing column
+    // indices hold; wall_ns (host time, nondeterministic) stays
+    // trailing so stripping one column recovers a reproducible row.
+    EXPECT_NE(line.find(",device,mode,"), std::string::npos);
+    ASSERT_GE(line.size(), 8u);
+    EXPECT_EQ(line.substr(line.size() - 8), ",wall_ns");
 
     std::vector<std::string> devices;
     while (std::getline(lines, line)) {
@@ -298,10 +299,12 @@ TEST(SimCliSweep, DeviceAxisEmitsOneRowEachWithTrailingColumn)
         const std::string wall = line.substr(wall_comma + 1);
         EXPECT_FALSE(wall.empty());
         EXPECT_GT(std::stoull(wall), 0u) << line;
-        const auto dev_comma = line.rfind(',', wall_comma - 1);
-        ASSERT_NE(dev_comma, std::string::npos);
-        devices.push_back(
-            line.substr(dev_comma + 1, wall_comma - dev_comma - 1));
+        // device is column 21 (0-based), right before mode.
+        std::istringstream cells(line);
+        std::string cell;
+        for (int c = 0; c <= 21; c++)
+            std::getline(cells, cell, ',');
+        devices.push_back(cell);
     }
     EXPECT_EQ(devices, (std::vector<std::string>{"auto", "tiny"}));
 }
@@ -352,6 +355,169 @@ TEST(SimCliSweep, ParallelJobsProduceIdenticalCsv)
     while (std::getline(in, line))
         lines++;
     EXPECT_EQ(lines, 9u);
+}
+
+TEST(SimCliParse, ModeAndRateAxes)
+{
+    const SimOptions defaults = parse({});
+    EXPECT_EQ(defaults.modes, (std::vector<std::string>{"closed"}));
+    EXPECT_EQ(defaults.rates, (std::vector<double>{0.0}));
+
+    const SimOptions opts = parse({"--mode", "closed,fixed,poisson",
+                                   "--rate", "50000,100000",
+                                   "--burst-duty=0.5", "--trace-strict"});
+    EXPECT_EQ(opts.modes,
+              (std::vector<std::string>{"closed", "fixed", "poisson"}));
+    EXPECT_EQ(opts.rates, (std::vector<double>{50000.0, 100000.0}));
+    EXPECT_DOUBLE_EQ(opts.burst_duty, 0.5);
+    EXPECT_TRUE(opts.trace_strict);
+
+    SimOptions bad;
+    std::string err;
+    {
+        const char *argv[] = {"leaftl_sim", "--mode", "turbo"};
+        EXPECT_FALSE(parseArgs(3, argv, bad, err));
+        EXPECT_NE(err.find("turbo"), std::string::npos);
+    }
+    {
+        const char *argv[] = {"leaftl_sim", "--rate", "-5"};
+        EXPECT_FALSE(parseArgs(3, argv, bad, err));
+    }
+    {
+        const char *argv[] = {"leaftl_sim", "--burst-duty", "1.5"};
+        EXPECT_FALSE(parseArgs(3, argv, bad, err));
+    }
+}
+
+TEST(SimCliSweep, RateDrivenModeRequiresRate)
+{
+    SimOptions opts;
+    opts.workloads = {"synthetic:seq"};
+    opts.modes = {"fixed"};
+    opts.requests = 100;
+    opts.working_set_pages = 2048;
+
+    std::ostringstream out;
+    EXPECT_EQ(runSweep(opts, out), 1); // Default rate 0 is rejected.
+}
+
+/**
+ * The frozen pre-open-loop column prefix: every historical consumer
+ * parses these 22 columns by position, so their names and order are
+ * load-bearing. The open-loop columns live between device and wall_ns.
+ */
+constexpr const char *kFrozenPrefix =
+    "ftl,workload,gamma,qd,requests,pages,sim_seconds,throughput_mbps,"
+    "avg_lat_us,avg_read_lat_us,p50_read_lat_us,p99_read_lat_us,"
+    "avg_write_lat_us,mapping_bytes,resident_bytes,waf,mispredict_ratio,"
+    "cache_hit_ratio,avg_lookup_levels,avg_queue_wait_us,mean_inflight,"
+    "device";
+
+/** First @a n comma-separated columns of every line of @a csv. */
+std::string
+columnPrefix(const std::string &csv, int n)
+{
+    std::ostringstream out;
+    std::istringstream in(csv);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream cells(line);
+        std::string cell;
+        for (int c = 0; c < n; c++) {
+            if (!std::getline(cells, cell, ','))
+                break;
+            out << (c ? "," : "") << cell;
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+TEST(SimCliSweep, ClosedModeKeepsHistoricalColumnsInvariant)
+{
+    EXPECT_EQ(csvHeader().substr(0, std::string(kFrozenPrefix).size()),
+              kFrozenPrefix);
+
+    // The same closed-loop run must fill the historical columns
+    // identically whether or not the sweep also exercises the new
+    // mode/rate axes.
+    SimOptions opts;
+    opts.ftls = {FtlKind::LeaFTL};
+    opts.workloads = {"synthetic:seq"};
+    opts.requests = 300;
+    opts.working_set_pages = 2048;
+    opts.prefill_frac = 0.25;
+    opts.jobs = 1;
+
+    std::ostringstream plain;
+    ASSERT_EQ(runSweep(opts, plain), 0);
+
+    opts.modes = {"closed", "fixed"};
+    opts.rates = {20000.0};
+    std::ostringstream mixed;
+    ASSERT_EQ(runSweep(opts, mixed), 0);
+
+    // Extract the closed row of the mixed sweep (row order: closed
+    // then fixed) and compare the frozen prefix.
+    std::istringstream mixed_in(mixed.str());
+    std::string header, closed_row;
+    ASSERT_TRUE(std::getline(mixed_in, header));
+    ASSERT_TRUE(std::getline(mixed_in, closed_row));
+    std::istringstream plain_in(plain.str());
+    std::string plain_header, plain_row;
+    ASSERT_TRUE(std::getline(plain_in, plain_header));
+    ASSERT_TRUE(std::getline(plain_in, plain_row));
+
+    EXPECT_EQ(columnPrefix(closed_row, 22), columnPrefix(plain_row, 22));
+    EXPECT_NE(closed_row.find(",closed,"), std::string::npos);
+}
+
+TEST(SimCliSweep, OpenModesEmitRowsAndDedupeClosedAcrossRates)
+{
+    SimOptions opts;
+    opts.ftls = {FtlKind::LeaFTL};
+    opts.workloads = {"synthetic:rand"};
+    opts.modes = {"closed", "poisson"};
+    opts.rates = {20000.0, 40000.0};
+    opts.requests = 400;
+    opts.working_set_pages = 2048;
+    opts.prefill_frac = 0.25;
+    opts.jobs = 1;
+
+    std::ostringstream out;
+    ASSERT_EQ(runSweep(opts, out), 0);
+
+    // 1 ftl x 1 workload x 2 modes x 2 rates = 4 rows; the two closed
+    // rows reuse one simulation and differ only in the echoed rate.
+    std::istringstream lines(out.str());
+    std::string line;
+    std::getline(lines, line); // header
+    std::vector<std::string> modes;
+    std::vector<std::string> rates;
+    std::vector<std::string> p99s;
+    while (std::getline(lines, line)) {
+        std::istringstream cells(line);
+        std::string cell;
+        std::vector<std::string> row;
+        while (std::getline(cells, cell, ','))
+            row.push_back(cell);
+        ASSERT_GE(row.size(), 33u);
+        modes.push_back(row[22]);
+        rates.push_back(row[23]);
+        p99s.push_back(row[28]);
+    }
+    EXPECT_EQ(modes, (std::vector<std::string>{"closed", "closed",
+                                               "poisson", "poisson"}));
+    // Closed ignores the rate axis (echoes 0); poisson echoes its rate.
+    EXPECT_EQ(rates[0], "0.0000");
+    EXPECT_EQ(rates[1], "0.0000");
+    EXPECT_EQ(rates[2], "20000.0000");
+    EXPECT_EQ(rates[3], "40000.0000");
+    // Deduplicated closed rows share one simulation bit-for-bit.
+    EXPECT_EQ(p99s[0], p99s[1]);
+    // Every row carries a parsable p99.
+    for (const auto &p : p99s)
+        EXPECT_GT(std::stod(p), 0.0);
 }
 
 TEST(SimCliSweep, GammaShrinksLeaFtlMapping)

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "util/stats.hh"
 
 namespace leaftl
@@ -152,6 +155,57 @@ TEST(LatencyHistogram, BelowMinimumClamps)
     h.add(1.0);
     EXPECT_EQ(h.count(), 1u);
     EXPECT_LE(h.percentile(50.0), 100.0);
+}
+
+/**
+ * Percentile exactness against a sorted-vector reference: for every
+ * queried percentile the log-bucketed estimate must bracket the exact
+ * order statistic within one bucket's relative growth factor -- the
+ * error bound the histogram's documentation promises and the new
+ * open-loop percentile columns rely on.
+ */
+TEST(LatencyHistogram, PercentilesMatchSortedReferenceWithinGrowth)
+{
+    const double growth = 1.05;
+    LatencyHistogram h(100.0, growth, 400);
+    std::vector<double> reference;
+
+    // Realistic latency mixture: a tight service-time mode, a heavy
+    // lognormal-ish tail, and a few overload outliers, all generated
+    // deterministically.
+    uint64_t state = 0x5EED;
+    auto next = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(state >> 11) /
+               static_cast<double>(1ull << 53);
+    };
+    for (int i = 0; i < 20000; i++) {
+        const double u = next();
+        double sample;
+        if (u < 0.7)
+            sample = 20000.0 + 2000.0 * next(); // ~20 us reads.
+        else if (u < 0.97)
+            sample = 200000.0 * (0.5 + next()); // ~100-300 us writes.
+        else
+            sample = 5e6 + 2e7 * next(); // 5-25 ms stragglers.
+        h.add(sample);
+        reference.push_back(sample);
+    }
+    std::sort(reference.begin(), reference.end());
+
+    for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0,
+                           99.9, 100.0}) {
+        const size_t rank = std::min(
+            reference.size() - 1,
+            static_cast<size_t>(p / 100.0 *
+                                static_cast<double>(reference.size())));
+        const double exact = reference[rank];
+        const double approx = h.percentile(p);
+        // One log-bucket of slack each way (plus rank-vs-target
+        // rounding, which stays inside the same bucket here).
+        EXPECT_GE(approx, exact / (growth * growth)) << "p" << p;
+        EXPECT_LE(approx, exact * (growth * growth)) << "p" << p;
+    }
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/rng.hh"
 #include "workload/app_models.hh"
 #include "workload/msr_models.hh"
 #include "workload/synthetic.hh"
@@ -301,6 +302,158 @@ TEST(Trace, ReplayWorkload)
     wl.reset();
     ASSERT_TRUE(wl.next(req));
     EXPECT_EQ(req.lpa, 1u);
+}
+
+TEST(Trace, ClampsNonMonotoneMsrTimestamps)
+{
+    // The second record is timestamped *before* the first: the raw
+    // ts - first_ts subtraction would wrap to a ~58-century arrival.
+    const char *path = "/tmp/leaftl_test_trace_clamp.csv";
+    {
+        std::ofstream out(path);
+        out << "2000000,hm,0,Read,8192,4096,151\n";
+        out << "1000000,hm,0,Write,12288,4096,388\n";
+        out << "2000010,hm,0,Read,4096,4096,151\n";
+    }
+    TraceParseStats stats;
+    const auto reqs = loadMsrTrace(path, 4096, 0, {}, &stats);
+    std::remove(path);
+
+    ASSERT_EQ(reqs.size(), 3u);
+    EXPECT_EQ(reqs[0].arrival, 0u);
+    EXPECT_EQ(reqs[1].arrival, 0u); // Clamped, not wrapped.
+    EXPECT_EQ(reqs[2].arrival, 1000u); // 10 ticks * 100 ns.
+    EXPECT_EQ(stats.parsed, 3u);
+    EXPECT_EQ(stats.clamped_timestamps, 1u);
+    EXPECT_EQ(stats.malformed, 0u);
+}
+
+TEST(Trace, ClampsNonMonotoneFiuTimestamps)
+{
+    const char *path = "/tmp/leaftl_test_fiu_clamp.txt";
+    {
+        std::ofstream out(path);
+        out << "100.5 1 p 16 8 R 0 0 x\n";
+        out << "99.5 1 p 24 8 W 0 0 x\n";
+        out << "100.6 1 p 32 8 R 0 0 x\n";
+    }
+    TraceParseStats stats;
+    const auto reqs = loadFiuTrace(path, 4096, 0, {}, &stats);
+    std::remove(path);
+
+    ASSERT_EQ(reqs.size(), 3u);
+    EXPECT_EQ(reqs[1].arrival, 0u);
+    EXPECT_NEAR(static_cast<double>(reqs[2].arrival), 1e8, 1e6);
+    EXPECT_EQ(stats.clamped_timestamps, 1u);
+}
+
+TEST(Trace, CountsMalformedLines)
+{
+    const char *path = "/tmp/leaftl_test_trace_diag.csv";
+    {
+        std::ofstream out(path);
+        out << "Timestamp,Hostname,DiskNumber,Type,Offset,Size,Resp\n";
+        out << "1,hm,0,Read,8192,4096,1\n";
+        out << "truncated,line\n";
+        out << "2,hm,0,Write,4096,0,1\n"; // Zero size.
+        out << "3,hm,0,Write,8192,4096,1\n";
+    }
+    TraceParseStats stats;
+    const auto reqs = loadMsrTrace(path, 4096, 0, {}, &stats);
+    std::remove(path);
+
+    EXPECT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(stats.parsed, 2u);
+    EXPECT_EQ(stats.malformed, 3u); // Header, truncated, zero-size.
+}
+
+TEST(Trace, StrictModeToleratesLeadingCsvHeader)
+{
+    // Real MSR archives open with a column header; strict mode must
+    // still parse them (the header is counted, not fatal).
+    const char *path = "/tmp/leaftl_test_trace_hdr.csv";
+    {
+        std::ofstream out(path);
+        out << "Timestamp,Hostname,DiskNumber,Type,Offset,Size,Resp\n";
+        out << "1,hm,0,Read,8192,4096,1\n";
+        out << "2,hm,0,Write,4096,4096,1\n";
+    }
+    TraceParseOptions strict;
+    strict.strict = true;
+    TraceParseStats stats;
+    const auto reqs = loadMsrTrace(path, 4096, 0, strict, &stats);
+    std::remove(path);
+    EXPECT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(stats.malformed, 1u); // The header.
+}
+
+TEST(TraceDeath, StrictModeFailsFastOnMalformedLine)
+{
+    const char *path = "/tmp/leaftl_test_trace_strict.csv";
+    {
+        std::ofstream out(path);
+        out << "1,hm,0,Read,8192,4096,1\n";
+        out << "garbage\n";
+    }
+    TraceParseOptions strict;
+    strict.strict = true;
+    EXPECT_DEATH((void)loadMsrTrace(path, 4096, 0, strict),
+                 "malformed trace line 2");
+
+    const char *fiu = "/tmp/leaftl_test_fiu_strict.txt";
+    {
+        std::ofstream out(fiu);
+        out << "not a record\n";
+    }
+    EXPECT_DEATH((void)loadFiuTrace(fiu, 4096, 0, strict),
+                 "malformed trace line 1");
+    std::remove(path);
+    std::remove(fiu);
+}
+
+/**
+ * Malformed-line fuzz: interleave valid records with deterministic
+ * garbage (random bytes, truncated fields, non-numeric columns,
+ * negative-looking values) and assert the tolerant parser never
+ * crashes, never produces a request from a garbage line, and accounts
+ * for every line as either parsed or malformed.
+ */
+TEST(TraceFuzz, GarbageLinesNeverCrashAndAlwaysCounted)
+{
+    Rng rng(0xF022EED5);
+    const char *path = "/tmp/leaftl_test_trace_fuzz.csv";
+    // No digits: junk must never accidentally form a numeric record.
+    const char garbage_chars[] = "abc,;- \tx.";
+    uint64_t valid = 0;
+    {
+        std::ofstream out(path);
+        for (int i = 0; i < 2000; i++) {
+            if (rng.nextBool(0.5)) {
+                out << (1000 + i) << ",host,0,"
+                    << (rng.nextBool(0.5) ? "Read" : "Write") << ','
+                    << rng.nextBounded(1 << 20) * 4096 << ','
+                    << (1 + rng.nextBounded(8)) * 4096 << ",1\n";
+                valid++;
+            } else {
+                const size_t len = rng.nextBounded(40);
+                std::string junk;
+                for (size_t c = 0; c < len; c++)
+                    junk += garbage_chars[rng.nextBounded(
+                        sizeof(garbage_chars) - 1)];
+                out << junk << '\n';
+            }
+        }
+    }
+    TraceParseStats stats;
+    const auto reqs = loadMsrTrace(path, 4096, 4096, {}, &stats);
+    std::remove(path);
+
+    EXPECT_EQ(stats.parsed, valid);
+    EXPECT_EQ(reqs.size(), valid);
+    for (const auto &req : reqs) {
+        EXPECT_LT(req.lpa, 4096u);
+        EXPECT_GE(req.npages, 1u);
+    }
 }
 
 } // namespace
