@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "config/experiment.hh"
 #include "flash/presets.hh"
 #include "sim/runner.hh"
 #include "sim/reporter.hh"
@@ -52,6 +53,17 @@ struct BenchScale
     std::string device;
     bool fast = false;
 
+    /**
+     * The full declarative spec behind the scalars above. Flags and
+     * --config=FILE both land here (a scalar flag collapses its sweep
+     * axis to one value), so benches that sweep an axis — rates,
+     * queue depths, devices — read the spec's lists and get the
+     * config file's grid for free.
+     */
+    config::ExperimentSpec spec;
+    /** True once --config=FILE populated the spec. */
+    bool from_config = false;
+
     uint64_t
     dramBytes() const
     {
@@ -62,35 +74,72 @@ struct BenchScale
     }
 };
 
+/** Collapse the spec's scalars (and each axis' first entry) into @a s. */
+inline void
+scaleFromSpec(const config::ExperimentSpec &spec, BenchScale &s)
+{
+    s.requests = spec.requests;
+    s.working_set_pages = spec.working_set_pages;
+    s.dram_bytes = spec.dram_bytes;
+    s.prefill_frac = spec.prefill_frac;
+    if (!spec.gammas.empty())
+        s.gamma = spec.gammas.front();
+    if (!spec.queue_depths.empty())
+        s.queue_depth = spec.queue_depths.front();
+    if (!spec.devices.empty())
+        s.device =
+            spec.devices.front() == "auto" ? "" : spec.devices.front();
+}
+
 /**
- * Parse --requests= --ws= --dram-mb= --gamma= --qd= --device= --fast
- * + free arg.
+ * Parse --requests= --ws= --dram-mb= --gamma= --qd= --device=
+ * --config=FILE --fast + free arg. --config loads the file's
+ * [experiment] section (same grammar and validation as leaftl_sim);
+ * flags and --config apply in order, later wins.
  */
 inline BenchScale
 parseScale(int argc, char **argv, std::string *free_arg = nullptr)
 {
     BenchScale s;
+    // The spec's defaults are leaftl_sim's; the bench scalars above
+    // are the historical bench defaults. Keep the embedded spec in
+    // lockstep with the scalars from the start.
+    s.spec.requests = s.requests;
+    s.spec.working_set_pages = s.working_set_pages;
+    s.spec.prefill_frac = s.prefill_frac;
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
-        if (arg.rfind("--requests=", 0) == 0) {
+        if (arg.rfind("--config=", 0) == 0) {
+            s.spec = config::loadExperimentFileOrDie(arg.substr(9));
+            s.from_config = true;
+            scaleFromSpec(s.spec, s);
+        } else if (arg.rfind("--requests=", 0) == 0) {
             s.requests = std::stoull(arg.substr(11));
+            s.spec.requests = s.requests;
         } else if (arg.rfind("--ws=", 0) == 0) {
             s.working_set_pages = std::stoull(arg.substr(5));
+            s.spec.working_set_pages = s.working_set_pages;
         } else if (arg.rfind("--dram-mb=", 0) == 0) {
             s.dram_bytes = std::stoull(arg.substr(10)) << 20;
+            s.spec.dram_bytes = s.dram_bytes;
         } else if (arg.rfind("--gamma=", 0) == 0) {
             s.gamma = static_cast<uint32_t>(std::stoul(arg.substr(8)));
+            s.spec.gammas = {s.gamma};
         } else if (arg.rfind("--qd=", 0) == 0) {
             s.queue_depth = std::max(
                 1u, static_cast<uint32_t>(std::stoul(arg.substr(5))));
+            s.spec.queue_depths = {s.queue_depth};
         } else if (arg.rfind("--device=", 0) == 0) {
             s.device = arg.substr(9);
             if (!findDevicePreset(s.device))
                 LEAFTL_FATAL("unknown device preset '" + s.device + "'");
+            s.spec.devices = {s.device};
         } else if (arg == "--fast") {
             s.fast = true;
             s.requests /= 10;
             s.working_set_pages /= 4;
+            s.spec.requests = s.requests;
+            s.spec.working_set_pages = s.working_set_pages;
         } else if (free_arg && arg.rfind("--", 0) != 0) {
             *free_arg = arg;
         } else if (free_arg && arg.rfind("--", 0) == 0) {

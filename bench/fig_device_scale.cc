@@ -9,6 +9,9 @@
  * point of the exercise: a 2 TB device used to cost ~2 GB before the
  * first request; with the sparse store it costs megabytes and scales
  * with the blocks the workload actually touches.
+ *
+ * With --config=FILE the device axis comes from the file's
+ * [experiment] section (named presets only) instead of every preset.
  */
 
 #include <cinttypes>
@@ -45,10 +48,26 @@ main(int argc, char **argv)
     using namespace leaftl::bench;
 
     BenchScale s = parseScale(argc, argv);
-    if (!s.fast && s.requests == 200'000) {
+    if (!s.from_config && !s.fast && s.requests == 200'000) {
         // Three full replays (one per preset); trim the default.
         s.requests = 60'000;
         s.working_set_pages = 32 * 1024;
+    }
+    // The device axis: every preset by default, the config file's
+    // device list with --config= (this bench measures the per-device
+    // flash-store footprint, so "auto" geometry has no preset row).
+    std::vector<const DevicePreset *> presets;
+    if (s.from_config) {
+        for (const std::string &name : s.spec.devices) {
+            const DevicePreset *p = findDevicePreset(name);
+            if (!p)
+                LEAFTL_FATAL("fig_device_scale: device '" + name +
+                             "' is not a named preset");
+            presets.push_back(p);
+        }
+    } else {
+        for (const DevicePreset &p : devicePresets())
+            presets.push_back(&p);
     }
 
     banner("fig_device_scale",
@@ -58,7 +77,8 @@ main(int argc, char **argv)
     TextTable table({"device", "raw_cap", "dense_store", "resident_fresh",
                      "resident_run", "live_blocks", "MB/s", "waf"});
 
-    for (const DevicePreset &preset : devicePresets()) {
+    for (const DevicePreset *preset_p : presets) {
+        const DevicePreset &preset = *preset_p;
         BenchScale run = s;
         run.device = preset.name;
         SsdConfig cfg = benchConfig(FtlKind::LeaFTL, run);

@@ -10,7 +10,10 @@
  * never show.
  *
  * Flags: the shared --requests/--ws/--qd/--gamma/--device/--fast set,
- * plus --rates=R1,R2,... (offered loads in requests/s).
+ * plus --rates=R1,R2,... (offered loads in requests/s). With
+ * --config=FILE (e.g. configs/latency_load.conf) the FTL list, rate
+ * grid, and read ratio come from the file's [experiment] section;
+ * --rates= still wins over the file's rate axis.
  */
 
 #include <cinttypes>
@@ -34,8 +37,9 @@ loadMixSpec(const leaftl::bench::BenchScale &s)
     // Read-dominated: the FTL-differentiating work (translation-page
     // reads under DRAM pressure, OOB misprediction reads) is on the
     // read path, while heavy write traffic saturates both FTLs
-    // identically on flash programs.
-    spec.read_ratio = 0.98;
+    // identically on flash programs. A config file's read-ratio key
+    // overrides the bench's default.
+    spec.read_ratio = s.spec.read_ratio >= 0.0 ? s.spec.read_ratio : 0.98;
     // Uniform point accesses (see fig_queue_depth): sequential runs
     // and zipf skew would concentrate on hot channels and measure
     // workload shape, not the saturation behavior of the device.
@@ -47,7 +51,7 @@ loadMixSpec(const leaftl::bench::BenchScale &s)
 }
 
 std::vector<double>
-parseRates(const std::string &arg)
+parseRates(const std::string &arg, const leaftl::bench::BenchScale &s)
 {
     std::vector<double> rates;
     if (arg.rfind("--rates=", 0) == 0) {
@@ -56,6 +60,13 @@ parseRates(const std::string &arg)
         while (std::getline(in, item, ','))
             if (!item.empty())
                 rates.push_back(std::stod(item));
+    }
+    if (rates.empty() && s.from_config) {
+        // The config file's rate axis (zero means "no rate", the
+        // spec's closed-loop placeholder).
+        for (const double r : s.spec.rates)
+            if (r > 0.0)
+                rates.push_back(r);
     }
     if (rates.empty())
         rates = {25'000, 50'000, 100'000, 200'000, 400'000, 800'000};
@@ -72,13 +83,16 @@ main(int argc, char **argv)
 
     std::string free_arg;
     BenchScale s = parseScale(argc, argv, &free_arg);
-    if (!s.fast && s.requests == 200'000) {
+    if (!s.from_config && !s.fast && s.requests == 200'000) {
         // Each (ftl, rate) pair is a full replay; trim the default.
         s.requests = 40'000;
         s.working_set_pages = 16 * 1024;
     }
-    const std::vector<double> rates = parseRates(free_arg);
+    const std::vector<double> rates = parseRates(free_arg, s);
     const uint32_t qd = s.queue_depth > 1 ? s.queue_depth : 64;
+    const std::vector<FtlKind> ftls =
+        s.from_config ? s.spec.ftls
+                      : std::vector<FtlKind>{FtlKind::LeaFTL, FtlKind::DFTL};
 
     // Banner and notes go to stderr so stdout is a pure CSV (CI
     // uploads it as an artifact; the other table-style benches print
@@ -89,7 +103,7 @@ main(int argc, char **argv)
 
     std::printf("ftl,mode,rate_iops,offered_iops,achieved_iops,"
                 "p50_us,p95_us,p99_us,p999_us,max_us,avg_wait_us\n");
-    for (const FtlKind ftl : {FtlKind::LeaFTL, FtlKind::DFTL}) {
+    for (const FtlKind ftl : ftls) {
         for (const double rate : rates) {
             SsdConfig cfg = benchConfig(ftl, s);
             // A multi-MB write buffer turns every flush into a

@@ -8,6 +8,9 @@
  * concurrency. qd=1 is the paper's closed-loop model; the speedup
  * column shows how much of the device's channel parallelism a deeper
  * queue unlocks.
+ *
+ * With --config=FILE the FTL list and the qd axis come from the
+ * file's [experiment] section instead of the built-in sweep.
  */
 
 #include <cinttypes>
@@ -52,11 +55,19 @@ main(int argc, char **argv)
     using namespace leaftl::bench;
 
     BenchScale s = parseScale(argc, argv);
-    if (!s.fast && s.requests == 200'000) {
+    if (!s.from_config && !s.fast && s.requests == 200'000) {
         // The sweep runs 12 full replays; trim the default a bit.
         s.requests = 60'000;
         s.working_set_pages = 32 * 1024;
     }
+    // A config file's [experiment] section replaces both sweep axes;
+    // flags keep the historical 2-FTL x 6-depth grid.
+    const std::vector<FtlKind> ftls =
+        s.from_config ? s.spec.ftls
+                      : std::vector<FtlKind>{FtlKind::LeaFTL, FtlKind::DFTL};
+    const std::vector<uint32_t> depths =
+        s.from_config ? s.spec.queue_depths
+                      : std::vector<uint32_t>{1, 2, 4, 8, 16, 32};
 
     banner("fig_queue_depth",
            "throughput & latency vs. queue depth (leaftl vs. dftl)");
@@ -64,9 +75,9 @@ main(int argc, char **argv)
     TextTable table({"ftl", "qd", "MB/s", "speedup", "svc_us", "wait_us",
                      "mean_inflight", "max_inflight", "busy_horizon_ms"});
 
-    for (const FtlKind ftl : {FtlKind::LeaFTL, FtlKind::DFTL}) {
+    for (const FtlKind ftl : ftls) {
         double base_mbps = 0.0;
-        for (const uint32_t qd : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        for (const uint32_t qd : depths) {
             BenchScale run = s;
             run.queue_depth = qd;
             SsdConfig cfg = benchConfig(ftl, run);
@@ -84,7 +95,7 @@ main(int argc, char **argv)
                 sim_s > 0.0 ? static_cast<double>(res.pages_touched) *
                                   cfg.geometry.page_size / sim_s / (1 << 20)
                             : 0.0;
-            if (qd == 1)
+            if (qd == depths.front())
                 base_mbps = mbps;
 
             table.addRow(
@@ -100,7 +111,8 @@ main(int argc, char **argv)
         }
     }
     table.print();
-    std::printf("\nspeedup is vs. the same FTL at qd=1; busy_horizon is "
+    std::printf("\nspeedup is vs. the same FTL at the first swept depth; "
+                "busy_horizon is "
                 "when the least-loaded\nchannel goes idle (background "
                 "flush/GC included).\n");
     return 0;

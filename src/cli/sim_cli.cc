@@ -2,20 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cctype>
 #include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <tuple>
 
+#include "cli/campaign.hh"
 #include "flash/presets.hh"
 #include "sim/runner.hh"
 #include "util/host_clock.hh"
+#include "util/parse.hh"
 #include "ssd/ssd.hh"
 #include "workload/app_models.hh"
 #include "workload/arrival.hh"
@@ -31,69 +31,9 @@ namespace cli
 namespace
 {
 
-std::vector<std::string>
-splitList(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::string item;
-    std::istringstream in(s);
-    while (std::getline(in, item, ','))
-        if (!item.empty())
-            out.push_back(item);
-    return out;
-}
-
-bool
-parseFtlName(const std::string &name, FtlKind &kind)
-{
-    if (name == "leaftl") {
-        kind = FtlKind::LeaFTL;
-    } else if (name == "dftl") {
-        kind = FtlKind::DFTL;
-    } else if (name == "sftl") {
-        kind = FtlKind::SFTL;
-    } else {
-        return false;
-    }
-    return true;
-}
-
-bool
-parseU64(const std::string &s, uint64_t &out)
-{
-    // std::stoull accepts (and wraps) negative input; require digits.
-    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
-        return false;
-    try {
-        size_t pos = 0;
-        const unsigned long long v = std::stoull(s, &pos);
-        if (pos != s.size())
-            return false;
-        out = v;
-    } catch (const std::exception &) {
-        return false;
-    }
-    return true;
-}
-
-bool
-parseDouble(const std::string &s, double &out)
-{
-    try {
-        size_t pos = 0;
-        const double v = std::stod(s, &pos);
-        if (pos != s.size())
-            return false;
-        out = v;
-    } catch (const std::exception &) {
-        return false;
-    }
-    return true;
-}
-
 /** Synthetic pattern presets, each one access shape from paper Fig. 1. */
 MixSpec
-syntheticSpec(const std::string &pattern, const SimOptions &opts,
+syntheticSpec(const std::string &pattern, const config::ExperimentSpec &opts,
               bool &known)
 {
     MixSpec spec;
@@ -152,7 +92,7 @@ isNamedModel(const std::vector<std::string> &names, const std::string &name)
  */
 std::unique_ptr<WorkloadSource>
 applyMode(std::unique_ptr<WorkloadSource> wl, const std::string &mode,
-          double rate, const SimOptions &opts, RunOptions &ropts)
+          double rate, const config::ExperimentSpec &opts, RunOptions &ropts)
 {
     if (mode == "closed") {
         ropts.admission = Admission::Closed;
@@ -199,6 +139,15 @@ usage()
     out << "leaftl_sim -- trace-driven FTL comparison driver\n"
         << "\n"
         << "Usage: leaftl_sim [options]\n"
+        << "  --config FILE    load an [experiment] config file (flags\n"
+        << "                   after --config override its values)\n"
+        << "  --set KEY=VALUE  override one experiment key (same names\n"
+        << "                   as the config file: ftl, workload, ...)\n"
+        << "  --campaign FILE  expand the file's sweep grid into\n"
+        << "                   fingerprinted runs (one CSV per run, a\n"
+        << "                   BENCH_<name>.json summary, resume by\n"
+        << "                   skipping fingerprints already on disk)\n"
+        << "  --campaign-dir D override the campaign output directory\n"
         << "  --ftl LIST       comma list of leaftl,dftl,sftl "
            "(default leaftl)\n"
         << "  --workload LIST  comma list of workload specs "
@@ -255,18 +204,6 @@ knownWorkloads()
     return out;
 }
 
-std::vector<std::string>
-knownModes()
-{
-    return {"closed", "open", "fixed", "poisson", "burst"};
-}
-
-bool
-modeUsesRate(const std::string &mode)
-{
-    return mode == "fixed" || mode == "poisson" || mode == "burst";
-}
-
 bool
 parseArgs(int argc, const char *const *argv, SimOptions &opts,
           std::string &err)
@@ -296,6 +233,28 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
         return true;
     };
 
+    // Every experiment axis/scalar lowers through the same named-key
+    // application the config-file loader uses, so a flag, a config
+    // line, and a --set override validate (and conflict) identically.
+    const std::map<std::string, std::string> spec_flags = {
+        {"--ftl", "ftl"},
+        {"--workload", "workload"},
+        {"--gamma", "gamma"},
+        {"--qd", "qd"},
+        {"--device", "device"},
+        {"--mode", "mode"},
+        {"--rate", "rate"},
+        {"--burst-duty", "burst-duty"},
+        {"--jobs", "jobs"},
+        {"--requests", "requests"},
+        {"--ws", "ws"},
+        {"--dram-mb", "dram-mb"},
+        {"--prefill", "prefill"},
+        {"--read-ratio", "read-ratio"},
+        {"--interarrival", "interarrival"},
+        {"--seed", "seed"},
+    };
+
     for (size_t i = 0; i < norm.size(); i++) {
         const std::string &arg = norm[i];
         std::string value;
@@ -303,182 +262,44 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
             opts.help = true;
         } else if (arg == "--list") {
             opts.list = true;
-        } else if (arg == "--ftl") {
-            if (!need_value(i, value))
-                return false;
-            opts.ftls.clear();
-            for (const auto &name : splitList(value)) {
-                FtlKind kind;
-                if (!parseFtlName(name, kind)) {
-                    err = "unknown FTL '" + name +
-                          "' (expected leaftl, dftl, or sftl)";
-                    return false;
-                }
-                opts.ftls.push_back(kind);
-            }
-            if (opts.ftls.empty()) {
-                err = "--ftl list is empty";
-                return false;
-            }
-        } else if (arg == "--workload") {
-            if (!need_value(i, value))
-                return false;
-            opts.workloads = splitList(value);
-            if (opts.workloads.empty()) {
-                err = "--workload list is empty";
-                return false;
-            }
-        } else if (arg == "--gamma") {
-            if (!need_value(i, value))
-                return false;
-            opts.gammas.clear();
-            for (const auto &g : splitList(value)) {
-                uint64_t v;
-                if (!parseU64(g, v) || v > 4096) {
-                    err = "bad gamma '" + g + "'";
-                    return false;
-                }
-                opts.gammas.push_back(static_cast<uint32_t>(v));
-            }
-            if (opts.gammas.empty()) {
-                err = "--gamma list is empty";
-                return false;
-            }
-        } else if (arg == "--qd") {
-            if (!need_value(i, value))
-                return false;
-            opts.queue_depths.clear();
-            for (const auto &q : splitList(value)) {
-                uint64_t v;
-                if (!parseU64(q, v) || v == 0 || v > 65536) {
-                    err = "bad queue depth '" + q + "'";
-                    return false;
-                }
-                opts.queue_depths.push_back(static_cast<uint32_t>(v));
-            }
-            if (opts.queue_depths.empty()) {
-                err = "--qd list is empty";
-                return false;
-            }
-        } else if (arg == "--device") {
-            if (!need_value(i, value))
-                return false;
-            opts.devices.clear();
-            for (const auto &name : splitList(value)) {
-                if (name != "auto" && !findDevicePreset(name)) {
-                    err = "unknown device '" + name +
-                          "' (expected auto or a preset; see --list)";
-                    return false;
-                }
-                opts.devices.push_back(name);
-            }
-            if (opts.devices.empty()) {
-                err = "--device list is empty";
-                return false;
-            }
-        } else if (arg == "--mode") {
-            if (!need_value(i, value))
-                return false;
-            opts.modes.clear();
-            const auto known = knownModes();
-            for (const auto &name : splitList(value)) {
-                if (std::find(known.begin(), known.end(), name) ==
-                    known.end()) {
-                    err = "unknown mode '" + name +
-                          "' (expected closed, open, fixed, poisson, or "
-                          "burst)";
-                    return false;
-                }
-                opts.modes.push_back(name);
-            }
-            if (opts.modes.empty()) {
-                err = "--mode list is empty";
-                return false;
-            }
-        } else if (arg == "--rate") {
-            if (!need_value(i, value))
-                return false;
-            opts.rates.clear();
-            for (const auto &r : splitList(value)) {
-                double v;
-                if (!parseDouble(r, v) || v < 0.0) {
-                    err = "bad rate '" + r + "'";
-                    return false;
-                }
-                opts.rates.push_back(v);
-            }
-            if (opts.rates.empty()) {
-                err = "--rate list is empty";
-                return false;
-            }
-        } else if (arg == "--burst-duty") {
-            if (!need_value(i, value) ||
-                !parseDouble(value, opts.burst_duty) ||
-                opts.burst_duty <= 0.0 || opts.burst_duty > 1.0) {
-                err = err.empty() ? "bad --burst-duty '" + value + "'" : err;
-                return false;
-            }
         } else if (arg == "--trace-strict") {
             opts.trace_strict = true;
-        } else if (arg == "--jobs") {
-            uint64_t v;
-            if (!need_value(i, value) || !parseU64(value, v) || v == 0 ||
-                v > 1024) {
-                err = err.empty() ? "bad --jobs '" + value + "'" : err;
-                return false;
-            }
-            opts.jobs = static_cast<unsigned>(v);
-        } else if (arg == "--requests") {
-            if (!need_value(i, value) || !parseU64(value, opts.requests) ||
-                opts.requests == 0) {
-                err = err.empty() ? "bad --requests '" + value + "'" : err;
-                return false;
-            }
-        } else if (arg == "--ws") {
-            if (!need_value(i, value) ||
-                !parseU64(value, opts.working_set_pages) ||
-                opts.working_set_pages == 0) {
-                err = err.empty() ? "bad --ws '" + value + "'" : err;
-                return false;
-            }
-        } else if (arg == "--dram-mb") {
-            uint64_t mb;
-            if (!need_value(i, value) || !parseU64(value, mb)) {
-                err = err.empty() ? "bad --dram-mb '" + value + "'" : err;
-                return false;
-            }
-            opts.dram_bytes = mb << 20;
-        } else if (arg == "--prefill") {
-            if (!need_value(i, value) ||
-                !parseDouble(value, opts.prefill_frac) ||
-                opts.prefill_frac < 0.0 || opts.prefill_frac > 1.0) {
-                err = err.empty() ? "bad --prefill '" + value + "'" : err;
-                return false;
-            }
-        } else if (arg == "--read-ratio") {
-            if (!need_value(i, value) ||
-                !parseDouble(value, opts.read_ratio) ||
-                opts.read_ratio < 0.0 || opts.read_ratio > 1.0) {
-                err = err.empty() ? "bad --read-ratio '" + value + "'" : err;
-                return false;
-            }
-        } else if (arg == "--interarrival") {
-            if (!need_value(i, value) ||
-                !parseDouble(value, opts.interarrival_us) ||
-                opts.interarrival_us < 0.0) {
-                err = err.empty() ? "bad --interarrival '" + value + "'"
-                                  : err;
-                return false;
-            }
-        } else if (arg == "--seed") {
-            if (!need_value(i, value) || !parseU64(value, opts.seed)) {
-                err = err.empty() ? "bad --seed '" + value + "'" : err;
-                return false;
-            }
         } else if (arg == "--output") {
             if (!need_value(i, value))
                 return false;
             opts.output = value;
+        } else if (arg == "--config") {
+            if (!need_value(i, value))
+                return false;
+            if (!config::loadExperimentFile(value, opts, err))
+                return false;
+        } else if (arg == "--set") {
+            if (!need_value(i, value))
+                return false;
+            const auto eq = value.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                err = "--set expects KEY=VALUE, got '" + value + "'";
+                return false;
+            }
+            const std::string skey = value.substr(0, eq);
+            const std::string sval = value.substr(eq + 1);
+            if (!config::applyExperimentKey(opts, skey, sval, err))
+                return false;
+            opts.set_overrides.emplace_back(skey, sval);
+        } else if (arg == "--campaign") {
+            if (!need_value(i, value))
+                return false;
+            opts.campaign = value;
+        } else if (arg == "--campaign-dir") {
+            if (!need_value(i, value))
+                return false;
+            opts.campaign_dir = value;
+        } else if (spec_flags.count(arg)) {
+            if (!need_value(i, value))
+                return false;
+            if (!config::applyExperimentKey(opts, spec_flags.at(arg),
+                                            value, err))
+                return false;
         } else {
             err = "unknown argument '" + arg + "'";
             return false;
@@ -488,7 +309,7 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
 }
 
 std::unique_ptr<WorkloadSource>
-makeWorkload(const std::string &spec, const SimOptions &opts,
+makeWorkload(const std::string &spec, const config::ExperimentSpec &opts,
              std::string &err, TraceCache *trace_cache)
 {
     const auto colon = spec.find(':');
@@ -587,7 +408,7 @@ makeWorkload(const std::string &spec, const SimOptions &opts,
 }
 
 SsdConfig
-makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts,
+makeConfig(FtlKind ftl, uint32_t gamma, const config::ExperimentSpec &opts,
            const std::string &device)
 {
     SsdConfig cfg;
@@ -692,7 +513,7 @@ csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
 }
 
 int
-runSweep(const SimOptions &opts, std::ostream &out)
+runSweep(const config::ExperimentSpec &opts, std::ostream &out)
 {
     // Resolve all specs before running anything so a bad spec leaves
     // the output empty. Every run then builds its own source from
@@ -909,6 +730,26 @@ simMain(int argc, const char *const *argv)
             std::cout << "device:" << p.name << "  (" << p.description
                       << ")\n";
         return 0;
+    }
+
+    if (!opts.campaign.empty()) {
+        config::CampaignSpec camp;
+        if (!config::loadCampaignFile(opts.campaign, camp, err)) {
+            std::cerr << "leaftl_sim: " << err << '\n';
+            return 2;
+        }
+        // --set overrides apply on top of the campaign's config, so a
+        // one-key variant does not need its own file.
+        for (const auto &[key, value] : opts.set_overrides) {
+            if (!config::applyExperimentKey(camp.exp, key, value, err)) {
+                std::cerr << "leaftl_sim: --set " << key << ": " << err
+                          << '\n';
+                return 2;
+            }
+        }
+        if (!opts.campaign_dir.empty())
+            camp.dir = opts.campaign_dir;
+        return runCampaign(camp, std::cout);
     }
 
     if (!opts.output.empty()) {

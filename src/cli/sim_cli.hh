@@ -10,6 +10,13 @@
  * thread pool (--jobs); rows are always emitted in combination order,
  * making the CSV byte-identical for any job count.
  *
+ * Command-line flags, `--config FILE` (a declarative experiment
+ * config, see config/config_file.hh), and `--set key=value`
+ * overrides all lower into the same config::ExperimentSpec before
+ * any run is constructed; `--campaign FILE` hands the spec to the
+ * fingerprinted campaign runner (cli/campaign.hh) instead of the
+ * inline sweep.
+ *
  * Kept as a library (main() lives in main.cc) so tests can drive the
  * parser and the sweep without spawning a process.
  */
@@ -24,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "config/experiment.hh"
 #include "sim/metrics.hh"
 #include "ssd/config.hh"
 #include "workload/request.hh"
@@ -33,82 +41,37 @@ namespace leaftl
 namespace cli
 {
 
-/** Parsed command line of leaftl_sim. */
-struct SimOptions
+/**
+ * Parsed command line of leaftl_sim: the declarative experiment
+ * (sweep axes + run scalars, see config::ExperimentSpec for every
+ * field) plus the host-side knobs that never affect results.
+ */
+struct SimOptions : config::ExperimentSpec
 {
-    /** FTLs to compare (default: LeaFTL only). */
-    std::vector<FtlKind> ftls = {FtlKind::LeaFTL};
-
-    /**
-     * Workload specs. Grammar:
-     *   synthetic:{seq,rand,zipf,stride,log,mix}
-     *   msr:<name>   (or a bare MSR/FIU model name)
-     *   app:<name>
-     *   trace:<path> (MSR-Cambridge CSV)
-     *   fiu:<path>   (FIU/SPC text trace)
-     */
-    std::vector<std::string> workloads = {"synthetic:zipf"};
-
-    /** Gamma sweep (LeaFTL error bound; other FTLs ignore it). */
-    std::vector<uint32_t> gammas = {0};
-
-    /** Queue-depth sweep (outstanding host requests per run). */
-    std::vector<uint32_t> queue_depths = {1};
-
-    /**
-     * Replay-mode sweep. "closed" is the historical closed-loop
-     * admission; the rest run open-loop (end-to-end latency measured
-     * from the arrival tick) with the named arrival shaper:
-     * "open" keeps recorded arrivals, "fixed"/"poisson"/"burst"
-     * rewrite them at each --rate (requests/s).
-     */
-    std::vector<std::string> modes = {"closed"};
-
-    /**
-     * Offered-load sweep in requests/s, used by the rate-driven modes
-     * (fixed/poisson/burst). Closed/open rows ignore it (and are
-     * deduplicated across rates, like gamma for non-learned FTLs).
-     */
-    std::vector<double> rates = {0.0};
-
-    /** Duty cycle of the burst shaper (fraction of a cycle on). */
-    double burst_duty = 0.25;
-
-    /** Fail fast on malformed trace lines instead of skipping them. */
-    bool trace_strict = false;
-
-    /**
-     * Device sweep: "auto" (geometry derived from the working set,
-     * the historical behavior) or a named preset from
-     * flash/presets.hh (tiny, paper, paper-2tb). LPAs wrap modulo the
-     * device's host capacity, so one workload compares devices fairly.
-     */
-    std::vector<std::string> devices = {"auto"};
-
-    /** Worker threads for the sweep; 0 = hardware concurrency. */
-    unsigned jobs = 0;
-
-    uint64_t requests = 100'000;
-    uint64_t working_set_pages = 64 * 1024;
-    /** 0 = derive from the working set (mapping-pressure regime). */
-    uint64_t dram_bytes = 0;
-    /** Fraction of the working set prefilled (mixed pattern) pre-run. */
-    double prefill_frac = 0.85;
-    /** Override the workload's read ratio; <0 keeps its default. */
-    double read_ratio = -1.0;
-    /** Override the mean inter-arrival gap in us; <0 keeps defaults. */
-    double interarrival_us = -1.0;
-    uint64_t seed = 42;
-
     /** Output CSV path; empty = stdout. */
     std::string output;
+
+    /** --campaign FILE: run the fingerprinted campaign runner. */
+    std::string campaign;
+
+    /** --campaign-dir DIR: override the campaign output directory. */
+    std::string campaign_dir;
+
+    /**
+     * --set KEY=VALUE overrides in flag order. Already applied to
+     * this spec; kept raw so --campaign can replay them on top of
+     * the campaign file's spec.
+     */
+    std::vector<std::pair<std::string, std::string>> set_overrides;
 
     bool list = false; ///< --list: print known workloads and exit.
     bool help = false; ///< --help/-h.
 };
 
 /**
- * Parse argv into @a opts.
+ * Parse argv into @a opts. Flags are applied in order, so a flag
+ * after --config overrides the file's value and --set overrides
+ * both.
  * @return true on success; on failure @a err describes the problem.
  */
 bool parseArgs(int argc, const char *const *argv, SimOptions &opts,
@@ -121,10 +84,18 @@ std::string usage();
 std::vector<std::string> knownWorkloads();
 
 /** Known --mode tokens, in presentation order. */
-std::vector<std::string> knownModes();
+inline std::vector<std::string>
+knownModes()
+{
+    return config::knownModes();
+}
 
 /** Whether @a mode consumes the --rate axis (fixed/poisson/burst). */
-bool modeUsesRate(const std::string &mode);
+inline bool
+modeUsesRate(const std::string &mode)
+{
+    return config::modeUsesRate(mode);
+}
 
 /**
  * Parsed trace files keyed by workload spec. A sweep parses each
@@ -142,17 +113,17 @@ using TraceCache =
  * @return nullptr (with @a err set) for an unknown spec or an
  *         unreadable trace file.
  */
-std::unique_ptr<WorkloadSource> makeWorkload(const std::string &spec,
-                                             const SimOptions &opts,
-                                             std::string &err,
-                                             TraceCache *trace_cache = nullptr);
+std::unique_ptr<WorkloadSource>
+makeWorkload(const std::string &spec, const config::ExperimentSpec &opts,
+             std::string &err, TraceCache *trace_cache = nullptr);
 
 /**
  * Device config for one run of the sweep. @a device is "auto"
  * (geometry derived from the working set, scaled paper Table 1) or a
- * preset name; --dram-mb overrides either's DRAM budget.
+ * preset name; the spec's dram_bytes overrides either's DRAM budget.
  */
-SsdConfig makeConfig(FtlKind ftl, uint32_t gamma, const SimOptions &opts,
+SsdConfig makeConfig(FtlKind ftl, uint32_t gamma,
+                     const config::ExperimentSpec &opts,
                      const std::string &device = "auto");
 
 /** CSV column header row (no trailing newline). */
@@ -168,9 +139,9 @@ std::string csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
  * combination order regardless of job count).
  * @return process exit code (0 = every combination ran).
  */
-int runSweep(const SimOptions &opts, std::ostream &out);
+int runSweep(const config::ExperimentSpec &opts, std::ostream &out);
 
-/** Full CLI: parse, dispatch --help/--list, sweep. */
+/** Full CLI: parse, dispatch --help/--list/--campaign, sweep. */
 int simMain(int argc, const char *const *argv);
 
 } // namespace cli

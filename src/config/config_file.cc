@@ -1,0 +1,275 @@
+#include "config/config_file.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace leaftl
+{
+namespace config
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        b++;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        e--;
+    return s.substr(b, e - b);
+}
+
+bool
+validName(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (const char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '-' && c != '.' && c != ':')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+ConfigFile::located(int line, const std::string &msg) const
+{
+    return origin_ + ":" + std::to_string(line) + ": " + msg;
+}
+
+bool
+ConfigFile::parseString(const std::string &text, std::string &err,
+                        const std::string &origin)
+{
+    sections_.clear();
+    origin_ = origin;
+    sections_.push_back({"", 0, {}});
+
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        lineno++;
+        // '#' starts a comment anywhere on the line (SESC idiom).
+        const auto hash = raw.find('#');
+        const std::string line =
+            trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']') {
+                err = located(lineno, "unterminated section header '" +
+                                          line + "'");
+                return false;
+            }
+            const std::string name = trim(line.substr(1, line.size() - 2));
+            if (!validName(name)) {
+                err = located(lineno,
+                              "bad section name '" + name + "'");
+                return false;
+            }
+            for (const Section &s : sections_) {
+                if (s.name == name) {
+                    err = located(lineno, "duplicate section [" + name +
+                                              "] (first defined on line " +
+                                              std::to_string(s.line) + ")");
+                    return false;
+                }
+            }
+            sections_.push_back({name, lineno, {}});
+            continue;
+        }
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            err = located(lineno, "expected 'key = value' or '[section]',"
+                                  " got '" + line + "'");
+            return false;
+        }
+        Entry entry;
+        entry.key = trim(line.substr(0, eq));
+        entry.value = trim(line.substr(eq + 1));
+        entry.line = lineno;
+        if (!validName(entry.key)) {
+            err = located(lineno, "bad key '" + entry.key + "'");
+            return false;
+        }
+        Section &cur = sections_.back();
+        for (const Entry &e : cur.entries) {
+            if (e.key == entry.key) {
+                err = located(lineno, "duplicate key '" + entry.key +
+                                          "' in [" + cur.name +
+                                          "] (first set on line " +
+                                          std::to_string(e.line) + ")");
+                return false;
+            }
+        }
+        cur.entries.push_back(std::move(entry));
+    }
+    return true;
+}
+
+bool
+ConfigFile::parseFile(const std::string &path, std::string &err)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        err = "cannot open config file '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseString(text.str(), err, path);
+}
+
+const ConfigFile::Section *
+ConfigFile::findSection(const std::string &name) const
+{
+    for (const Section &s : sections_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+bool
+ConfigFile::hasSection(const std::string &name) const
+{
+    return findSection(name) != nullptr;
+}
+
+std::vector<std::string>
+ConfigFile::sectionNames() const
+{
+    std::vector<std::string> out;
+    for (const Section &s : sections_)
+        if (!s.name.empty())
+            out.push_back(s.name);
+    return out;
+}
+
+bool
+ConfigFile::expand(const std::string &value, int line,
+                   const std::vector<Entry> &scope, std::string &out,
+                   std::string &err, int depth) const
+{
+    // Recursive expansion can only loop through a reference cycle;
+    // the scope is finite, so a generous depth cap detects it.
+    if (depth > 16) {
+        err = located(line, "$(...) expansion too deep (reference "
+                            "cycle?) in '" + value + "'");
+        return false;
+    }
+    out.clear();
+    for (size_t i = 0; i < value.size(); i++) {
+        if (value[i] != '$' || i + 1 >= value.size() ||
+            value[i + 1] != '(') {
+            out.push_back(value[i]);
+            continue;
+        }
+        const auto close = value.find(')', i + 2);
+        if (close == std::string::npos) {
+            err = located(line,
+                          "unterminated $( in '" + value + "'");
+            return false;
+        }
+        const std::string var = trim(value.substr(i + 2, close - i - 2));
+        // Lookup: the flattened section scope first, then globals.
+        const Entry *hit = nullptr;
+        for (const Entry &e : scope)
+            if (e.key == var)
+                hit = &e;
+        if (!hit) {
+            for (const Entry &e : sections_.front().entries)
+                if (e.key == var)
+                    hit = &e;
+        }
+        if (!hit) {
+            err = located(line, "undefined variable $(" + var + ")");
+            return false;
+        }
+        std::string expanded;
+        if (!expand(hit->value, hit->line, scope, expanded, err,
+                    depth + 1))
+            return false;
+        out += expanded;
+        i = close;
+    }
+    return true;
+}
+
+bool
+ConfigFile::resolve(const std::string &section,
+                    std::vector<std::pair<std::string, std::string>> &out,
+                    std::string &err) const
+{
+    const Section *sec = findSection(section);
+    if (!sec) {
+        err = origin_ + ": no [" + section + "] section";
+        return false;
+    }
+
+    // Flatten the inherit chain, nearest definition first so a
+    // section's own keys shadow its presets'.
+    std::vector<Entry> flat;
+    std::vector<std::string> chain;
+    const Section *cur = sec;
+    while (cur) {
+        chain.push_back(cur->name);
+        const Entry *inherit = nullptr;
+        for (const Entry &e : cur->entries) {
+            if (e.key == kInheritKey) {
+                inherit = &e;
+                continue;
+            }
+            bool shadowed = false;
+            for (const Entry &seen : flat)
+                shadowed = shadowed || seen.key == e.key;
+            if (!shadowed)
+                flat.push_back(e);
+        }
+        if (!inherit)
+            break;
+        const Section *next = findSection(inherit->value);
+        if (!next) {
+            err = located(inherit->line, "[" + cur->name +
+                                             "] inherits unknown preset '" +
+                                             inherit->value + "'");
+            return false;
+        }
+        for (const std::string &name : chain) {
+            if (name == next->name) {
+                std::string cycle;
+                for (const std::string &n : chain)
+                    cycle += "[" + n + "] -> ";
+                err = located(inherit->line, "preset reference cycle: " +
+                                                 cycle + "[" + next->name +
+                                                 "]");
+                return false;
+            }
+        }
+        cur = next;
+    }
+
+    out.clear();
+    for (const Entry &e : flat) {
+        std::string value;
+        if (!expand(e.value, e.line, flat, value, err, 0))
+            return false;
+        out.emplace_back(e.key, value);
+    }
+    std::sort(out.begin(), out.end());
+    return true;
+}
+
+} // namespace config
+} // namespace leaftl

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A small hierarchical experiment-config format in the SESC
+ * simulator's idiom: `[section]` blocks of `key = value` lines,
+ * `$(var)` expansion, and named presets that reference other presets.
+ *
+ *   # comment
+ *   rate_base = 25000          # keys before any [section] are global
+ *
+ *   [slow-device]
+ *   device = tiny
+ *   ws     = 8192
+ *
+ *   [experiment]
+ *   inherit = slow-device      # preset referencing a preset
+ *   rate    = $(rate_base)     # variable expansion
+ *
+ * Resolution of a section flattens its `inherit` chain (own keys
+ * shadow inherited ones, cycles are an error) and expands `$(var)`
+ * references (looked up in the flattened section first, then in the
+ * global section; expansion is recursive with cycle detection). Every
+ * parse or resolution error carries the file name and line number of
+ * the offending line.
+ *
+ * The format is deliberately typed-value-free: values stay strings
+ * here, and the experiment layer (config/experiment.hh) applies the
+ * same per-key validation the command-line flags use.
+ */
+
+#ifndef LEAFTL_CONFIG_CONFIG_FILE_HH
+#define LEAFTL_CONFIG_CONFIG_FILE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leaftl
+{
+namespace config
+{
+
+/** The key that links a section to the preset it inherits from. */
+constexpr const char *kInheritKey = "inherit";
+
+/** A parsed config file (sections of raw, unexpanded key/values). */
+class ConfigFile
+{
+  public:
+    /** One `key = value` line. */
+    struct Entry
+    {
+        std::string key;
+        std::string value;
+        int line = 0;
+    };
+
+    /** One `[name]` block ("" is the global/front-matter section). */
+    struct Section
+    {
+        std::string name;
+        int line = 0;
+        std::vector<Entry> entries;
+    };
+
+    /**
+     * Parse @a text. @a origin names the source in error messages
+     * (a path, or "<string>" for tests).
+     * @return true on success; false with a "origin:line: ..."
+     *         message in @a err.
+     */
+    bool parseString(const std::string &text, std::string &err,
+                     const std::string &origin = "<string>");
+
+    /** Read and parse @a path. */
+    bool parseFile(const std::string &path, std::string &err);
+
+    bool hasSection(const std::string &name) const;
+
+    /** Section names in file order (excluding the global section). */
+    std::vector<std::string> sectionNames() const;
+
+    /**
+     * Flatten @a section: follow its `inherit` chain (nearest
+     * definition wins), expand every `$(var)`, and return the
+     * resulting key/value pairs sorted by key (a canonical order, so
+     * downstream fingerprints are independent of file layout). The
+     * `inherit` key itself is consumed, not returned.
+     * @return true on success; false with a located message in
+     *         @a err for an unknown section, an unknown inherit
+     *         target, an inherit cycle, or an undefined/cyclic
+     *         `$(var)` reference.
+     */
+    bool resolve(const std::string &section,
+                 std::vector<std::pair<std::string, std::string>> &out,
+                 std::string &err) const;
+
+    const std::string &origin() const { return origin_; }
+
+  private:
+    const Section *findSection(const std::string &name) const;
+    bool expand(const std::string &value, int line,
+                const std::vector<Entry> &scope, std::string &out,
+                std::string &err, int depth) const;
+    std::string located(int line, const std::string &msg) const;
+
+    std::vector<Section> sections_; ///< [0] is the global section.
+    std::string origin_ = "<none>";
+};
+
+} // namespace config
+} // namespace leaftl
+
+#endif // LEAFTL_CONFIG_CONFIG_FILE_HH

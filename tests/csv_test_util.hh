@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared CSV helpers for determinism checks: every test that compares
+ * sweep output strips the trailing wall_ns column (host time, the one
+ * nondeterministic cell) the same way, instead of growing private
+ * copies that can drift from the CSV layout.
+ */
+
+#ifndef LEAFTL_TESTS_CSV_TEST_UTIL_HH
+#define LEAFTL_TESTS_CSV_TEST_UTIL_HH
+
+#include <sstream>
+#include <string>
+
+namespace leaftl
+{
+namespace test
+{
+
+/** Drop the trailing wall_ns column (host time) from every CSV line. */
+inline std::string
+stripWallNs(const std::string &csv)
+{
+    std::ostringstream out;
+    std::istringstream in(csv);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto comma = line.rfind(',');
+        out << (comma == std::string::npos ? line : line.substr(0, comma))
+            << '\n';
+    }
+    return out.str();
+}
+
+/** First @a n comma-separated columns of every line of @a csv. */
+inline std::string
+columnPrefix(const std::string &csv, int n)
+{
+    std::ostringstream out;
+    std::istringstream in(csv);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream cells(line);
+        std::string cell;
+        for (int c = 0; c < n; c++) {
+            if (!std::getline(cells, cell, ','))
+                break;
+            out << (c ? "," : "") << cell;
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace test
+} // namespace leaftl
+
+#endif // LEAFTL_TESTS_CSV_TEST_UTIL_HH

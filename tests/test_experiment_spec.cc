@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests of the experiment lowering layer (config/experiment.hh):
+ * every named key applies with the CLI's validation, unknown keys are
+ * rejected with a nearest-key suggestion, and config files lower into
+ * an ExperimentSpec through the same path (including the LEAFTL_FATAL
+ * bench front door, death-tested).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "config/experiment.hh"
+
+namespace leaftl
+{
+namespace config
+{
+namespace
+{
+
+/** A config file written to a unique temp path, removed on scope exit. */
+class TempConfig
+{
+  public:
+    explicit TempConfig(const std::string &text)
+    {
+        char name[] = "/tmp/leaftl_test_conf_XXXXXX";
+        const int fd = mkstemp(name);
+        EXPECT_GE(fd, 0);
+        path_ = name;
+        const ssize_t n = write(fd, text.data(), text.size());
+        EXPECT_EQ(static_cast<size_t>(n), text.size());
+        close(fd);
+    }
+    ~TempConfig() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** applyExperimentKey asserting success. */
+void
+apply(ExperimentSpec &spec, const std::string &key,
+      const std::string &value)
+{
+    std::string err;
+    EXPECT_TRUE(applyExperimentKey(spec, key, value, err))
+        << key << "=" << value << ": " << err;
+}
+
+/** The error applyExperimentKey leaves for @a key = @a value. */
+std::string
+applyError(const std::string &key, const std::string &value)
+{
+    ExperimentSpec spec;
+    std::string err;
+    EXPECT_FALSE(applyExperimentKey(spec, key, value, err))
+        << key << "=" << value << " unexpectedly parsed";
+    return err;
+}
+
+TEST(ExperimentSpec, EveryKnownKeyApplies)
+{
+    ExperimentSpec spec;
+    apply(spec, "ftl", "leaftl,dftl,sftl");
+    apply(spec, "workload", "synthetic:zipf,msr:MSR-src2");
+    apply(spec, "gamma", "0,4,16");
+    apply(spec, "qd", "1,64");
+    apply(spec, "device", "auto,tiny");
+    apply(spec, "mode", "closed,poisson");
+    apply(spec, "rate", "25000,1e5");
+    apply(spec, "burst-duty", "0.5");
+    apply(spec, "trace-strict", "true");
+    apply(spec, "jobs", "4");
+    apply(spec, "requests", "1234");
+    apply(spec, "ws", "4096");
+    apply(spec, "dram-mb", "2");
+    apply(spec, "prefill", "0.5");
+    apply(spec, "read-ratio", "0.75");
+    apply(spec, "interarrival", "2.5");
+    apply(spec, "seed", "7");
+
+    EXPECT_EQ(spec.ftls.size(), 3u);
+    EXPECT_EQ(spec.workloads,
+              (std::vector<std::string>{"synthetic:zipf", "msr:MSR-src2"}));
+    EXPECT_EQ(spec.gammas, (std::vector<uint32_t>{0, 4, 16}));
+    EXPECT_EQ(spec.queue_depths, (std::vector<uint32_t>{1, 64}));
+    EXPECT_EQ(spec.devices, (std::vector<std::string>{"auto", "tiny"}));
+    EXPECT_EQ(spec.modes, (std::vector<std::string>{"closed", "poisson"}));
+    EXPECT_EQ(spec.rates, (std::vector<double>{25000.0, 100000.0}));
+    EXPECT_DOUBLE_EQ(spec.burst_duty, 0.5);
+    EXPECT_TRUE(spec.trace_strict);
+    EXPECT_EQ(spec.jobs, 4u);
+    EXPECT_EQ(spec.requests, 1234u);
+    EXPECT_EQ(spec.working_set_pages, 4096u);
+    EXPECT_EQ(spec.dram_bytes, 2u << 20);
+    EXPECT_DOUBLE_EQ(spec.prefill_frac, 0.5);
+    EXPECT_DOUBLE_EQ(spec.read_ratio, 0.75);
+    EXPECT_DOUBLE_EQ(spec.interarrival_us, 2.5);
+    EXPECT_EQ(spec.seed, 7u);
+
+    // dram-bytes takes the exact value (dram-mb shifts).
+    apply(spec, "dram-bytes", "65536");
+    EXPECT_EQ(spec.dram_bytes, 65536u);
+}
+
+TEST(ExperimentSpec, UnderscoreAndDashSpellingsAreEqual)
+{
+    ExperimentSpec spec;
+    apply(spec, "read_ratio", "0.9");
+    EXPECT_DOUBLE_EQ(spec.read_ratio, 0.9);
+    apply(spec, "burst_duty", "0.75");
+    EXPECT_DOUBLE_EQ(spec.burst_duty, 0.75);
+}
+
+TEST(ExperimentSpec, ValidationMatchesTheCliFlags)
+{
+    EXPECT_NE(applyError("ftl", "nftl").find(
+                  "unknown FTL 'nftl' (expected leaftl, dftl, or sftl)"),
+              std::string::npos);
+    EXPECT_NE(applyError("qd", "0").find("queue depth"), std::string::npos);
+    EXPECT_NE(applyError("device", "huge").find(
+                  "unknown device 'huge' (expected auto or a preset"),
+              std::string::npos);
+    EXPECT_NE(applyError("mode", "turbo").find("unknown mode 'turbo'"),
+              std::string::npos);
+    EXPECT_NE(applyError("rate", "-5").find("bad rate"), std::string::npos);
+    EXPECT_NE(applyError("burst-duty", "1.5").find("bad burst-duty"),
+              std::string::npos);
+    EXPECT_NE(applyError("prefill", "2").find("bad prefill"),
+              std::string::npos);
+    EXPECT_NE(applyError("requests", "0").find("bad requests"),
+              std::string::npos);
+    EXPECT_NE(applyError("gamma", "-1").find("bad gamma"),
+              std::string::npos);
+}
+
+TEST(ExperimentSpec, UnknownKeySuggestsTheNearest)
+{
+    EXPECT_EQ(nearestExperimentKey("gama"), "gamma");
+    EXPECT_EQ(nearestExperimentKey("requets"), "requests");
+    EXPECT_EQ(nearestExperimentKey("red-ratio"), "read-ratio");
+
+    const std::string err = applyError("gama", "4");
+    EXPECT_NE(err.find("unknown key 'gama'"), std::string::npos) << err;
+    EXPECT_NE(err.find("did you mean 'gamma'?"), std::string::npos) << err;
+}
+
+TEST(ExperimentSpec, LoadExperimentFileLowersThroughPresets)
+{
+    const TempConfig conf("base_ws = 4096\n"
+                          "[slow-device]\n"
+                          "device = tiny\n"
+                          "ws     = $(base_ws)\n"
+                          "[experiment]\n"
+                          "inherit = slow-device\n"
+                          "ftl     = leaftl,dftl\n"
+                          "gamma   = 0,4\n");
+    ExperimentSpec spec;
+    std::string err;
+    ASSERT_TRUE(loadExperimentFile(conf.path(), spec, err)) << err;
+    EXPECT_EQ(spec.devices, (std::vector<std::string>{"tiny"}));
+    EXPECT_EQ(spec.working_set_pages, 4096u);
+    EXPECT_EQ(spec.ftls.size(), 2u);
+    EXPECT_EQ(spec.gammas, (std::vector<uint32_t>{0, 4}));
+}
+
+TEST(ExperimentSpec, LoadExperimentFileRequiresTheSection)
+{
+    const TempConfig conf("[device]\ndevice = tiny\n");
+    ExperimentSpec spec;
+    std::string err;
+    EXPECT_FALSE(loadExperimentFile(conf.path(), spec, err));
+    EXPECT_NE(err.find("no [experiment] section"), std::string::npos)
+        << err;
+}
+
+TEST(ExperimentSpec, UnknownConfigKeyNamesSectionAndSuggestion)
+{
+    const TempConfig conf("[experiment]\ngama = 4\n");
+    ExperimentSpec spec;
+    std::string err;
+    EXPECT_FALSE(loadExperimentFile(conf.path(), spec, err));
+    EXPECT_NE(err.find("[experiment]:"), std::string::npos) << err;
+    EXPECT_NE(err.find("unknown key 'gama' (did you mean 'gamma'?)"),
+              std::string::npos)
+        << err;
+}
+
+TEST(ExperimentSpecDeathTest, OrDieRejectsUnknownKeysFatally)
+{
+    const TempConfig conf("[experiment]\nqdepth = 8\n");
+    EXPECT_DEATH(loadExperimentFileOrDie(conf.path()),
+                 "unknown key 'qdepth' \\(did you mean 'qd'\\?\\)");
+}
+
+TEST(ExperimentSpecDeathTest, OrDieRejectsMissingFileFatally)
+{
+    EXPECT_DEATH(loadExperimentFileOrDie("/nonexistent/x.conf"),
+                 "cannot open config file");
+}
+
+TEST(CampaignSpec, NameDefaultsToFileStemAndDirToCampaigns)
+{
+    const TempConfig conf("[experiment]\nrequests = 10\n");
+    CampaignSpec camp;
+    std::string err;
+    ASSERT_TRUE(loadCampaignFile(conf.path(), camp, err)) << err;
+    // Stem of /tmp/leaftl_test_conf_XXXXXX (mkstemp names have no
+    // extension, so the stem is the basename).
+    const std::string base = conf.path().substr(5); // Drop "/tmp/".
+    EXPECT_EQ(camp.name, base);
+    EXPECT_EQ(camp.dir, "campaigns/" + base);
+    EXPECT_EQ(camp.exp.requests, 10u);
+}
+
+TEST(CampaignSpec, CampaignSectionOverridesNameAndDir)
+{
+    const TempConfig conf("[experiment]\n"
+                          "requests = 10\n"
+                          "[campaign]\n"
+                          "name = nightly\n"
+                          "dir  = /tmp/nightly-out\n");
+    CampaignSpec camp;
+    std::string err;
+    ASSERT_TRUE(loadCampaignFile(conf.path(), camp, err)) << err;
+    EXPECT_EQ(camp.name, "nightly");
+    EXPECT_EQ(camp.dir, "/tmp/nightly-out");
+}
+
+TEST(CampaignSpec, UnknownCampaignKeyIsRejected)
+{
+    const TempConfig conf("[experiment]\n"
+                          "requests = 10\n"
+                          "[campaign]\n"
+                          "output = somewhere\n");
+    CampaignSpec camp;
+    std::string err;
+    EXPECT_FALSE(loadCampaignFile(conf.path(), camp, err));
+    EXPECT_NE(err.find("unknown key 'output' (expected name or dir)"),
+              std::string::npos)
+        << err;
+}
+
+} // namespace
+} // namespace config
+} // namespace leaftl

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The refactor-freeze tests: the CSV a flags-only invocation emits is
+ * frozen (modulo the trailing wall_ns column) against a golden file
+ * captured before the config subsystem landed, and an equivalent
+ * --config file (or --set override) must reproduce the same rows.
+ * If one of these fails, the config lowering changed simulation
+ * behavior — not just plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/sim_cli.hh"
+#include "csv_test_util.hh"
+
+namespace leaftl
+{
+namespace cli
+{
+namespace
+{
+
+using test::stripWallNs;
+
+/** Parse @a args (after argv[0]) into SimOptions, asserting success. */
+SimOptions
+parse(const std::vector<const char *> &args)
+{
+    std::vector<const char *> argv = {"leaftl_sim"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    SimOptions opts;
+    std::string err;
+    EXPECT_TRUE(
+        parseArgs(static_cast<int>(argv.size()), argv.data(), opts, err))
+        << err;
+    return opts;
+}
+
+/** Run the sweep for @a opts and return the CSV without wall_ns. */
+std::string
+sweepCsv(const SimOptions &opts)
+{
+    std::ostringstream out;
+    EXPECT_EQ(runSweep(opts, out), 0);
+    return stripWallNs(out.str());
+}
+
+/** A config file written to a unique temp path, removed on scope exit. */
+class TempConfig
+{
+  public:
+    explicit TempConfig(const std::string &text)
+    {
+        char name[] = "/tmp/leaftl_frozen_conf_XXXXXX";
+        const int fd = mkstemp(name);
+        EXPECT_GE(fd, 0);
+        path_ = name;
+        const ssize_t n = write(fd, text.data(), text.size());
+        EXPECT_EQ(static_cast<size_t>(n), text.size());
+        close(fd);
+    }
+    ~TempConfig() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(FrozenCsv, FlagsOnlySweepMatchesTheGoldenFile)
+{
+    // The exact invocation tests/data/golden_sweep.csv was captured
+    // with (wall_ns stripped) before flags lowered through
+    // config::ExperimentSpec. Byte-identity here is the refactor's
+    // acceptance bar.
+    const SimOptions opts = parse(
+        {"--ftl", "leaftl,dftl", "--workload", "synthetic:seq,synthetic:zipf",
+         "--gamma", "0,4", "--qd", "1,4", "--device", "auto,tiny",
+         "--mode", "closed,poisson", "--rate", "20000",
+         "--requests", "300", "--ws", "2048", "--prefill", "0.25",
+         "--seed", "42", "--jobs", "4"});
+
+    std::ifstream golden_in(LEAFTL_SOURCE_DIR
+                            "/tests/data/golden_sweep.csv");
+    ASSERT_TRUE(golden_in.good())
+        << "missing checked-in golden_sweep.csv";
+    std::ostringstream golden;
+    golden << golden_in.rdbuf();
+
+    EXPECT_EQ(sweepCsv(opts), golden.str());
+}
+
+TEST(FrozenCsv, ConfigFileReproducesTheFlagRows)
+{
+    const SimOptions flags =
+        parse({"--ftl", "leaftl,dftl", "--gamma", "0,4",
+               "--workload", "synthetic:zipf", "--requests", "200",
+               "--ws", "2048", "--prefill", "0.25", "--jobs", "2"});
+
+    const TempConfig conf("[scale]\n"
+                          "ws      = 2048\n"
+                          "prefill = 0.25\n"
+                          "[experiment]\n"
+                          "inherit  = scale\n"
+                          "ftl      = leaftl,dftl\n"
+                          "gamma    = 0,4\n"
+                          "workload = synthetic:zipf\n"
+                          "requests = 200\n"
+                          "jobs     = 2\n");
+    const SimOptions from_config =
+        parse({"--config", conf.path().c_str()});
+
+    EXPECT_EQ(sweepCsv(from_config), sweepCsv(flags));
+}
+
+TEST(FrozenCsv, SetOverridesWinOverTheConfigFile)
+{
+    const TempConfig conf("[experiment]\n"
+                          "ftl      = leaftl\n"
+                          "gamma    = 0\n"
+                          "workload = synthetic:zipf\n"
+                          "requests = 100\n"
+                          "ws       = 2048\n"
+                          "prefill  = 0.25\n");
+    const SimOptions overridden =
+        parse({"--config", conf.path().c_str(), "--set", "gamma=4",
+               "--set", "requests=200"});
+    EXPECT_EQ(overridden.gammas, (std::vector<uint32_t>{4}));
+    EXPECT_EQ(overridden.requests, 200u);
+
+    const SimOptions direct =
+        parse({"--ftl", "leaftl", "--gamma", "4", "--workload",
+               "synthetic:zipf", "--requests", "200", "--ws", "2048",
+               "--prefill", "0.25"});
+    EXPECT_EQ(sweepCsv(overridden), sweepCsv(direct));
+}
+
+TEST(FrozenCsv, SetRequiresKeyEqualsValue)
+{
+    SimOptions opts;
+    std::string err;
+    {
+        const char *argv[] = {"leaftl_sim", "--set", "gamma"};
+        EXPECT_FALSE(parseArgs(3, argv, opts, err));
+        EXPECT_NE(err.find("KEY=VALUE"), std::string::npos) << err;
+    }
+    {
+        const char *argv[] = {"leaftl_sim", "--set", "gama=4"};
+        EXPECT_FALSE(parseArgs(3, argv, opts, err));
+        EXPECT_NE(err.find("did you mean 'gamma'?"), std::string::npos)
+            << err;
+    }
+}
+
+} // namespace
+} // namespace cli
+} // namespace leaftl

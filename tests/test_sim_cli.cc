@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "cli/sim_cli.hh"
+#include "csv_test_util.hh"
 
 namespace leaftl
 {
@@ -21,6 +22,9 @@ namespace cli
 {
 namespace
 {
+
+using test::columnPrefix;
+using test::stripWallNs;
 
 SimOptions
 parse(std::initializer_list<const char *> args)
@@ -309,21 +313,6 @@ TEST(SimCliSweep, DeviceAxisEmitsOneRowEachWithTrailingColumn)
     EXPECT_EQ(devices, (std::vector<std::string>{"auto", "tiny"}));
 }
 
-/** Drop the trailing wall_ns column (host time) from every CSV line. */
-std::string
-stripWallNs(const std::string &csv)
-{
-    std::ostringstream out;
-    std::istringstream in(csv);
-    std::string line;
-    while (std::getline(in, line)) {
-        const auto comma = line.rfind(',');
-        out << (comma == std::string::npos ? line : line.substr(0, comma))
-            << '\n';
-    }
-    return out.str();
-}
-
 TEST(SimCliSweep, ParallelJobsProduceIdenticalCsv)
 {
     SimOptions opts;
@@ -412,26 +401,6 @@ constexpr const char *kFrozenPrefix =
     "avg_write_lat_us,mapping_bytes,resident_bytes,waf,mispredict_ratio,"
     "cache_hit_ratio,avg_lookup_levels,avg_queue_wait_us,mean_inflight,"
     "device";
-
-/** First @a n comma-separated columns of every line of @a csv. */
-std::string
-columnPrefix(const std::string &csv, int n)
-{
-    std::ostringstream out;
-    std::istringstream in(csv);
-    std::string line;
-    while (std::getline(in, line)) {
-        std::istringstream cells(line);
-        std::string cell;
-        for (int c = 0; c < n; c++) {
-            if (!std::getline(cells, cell, ','))
-                break;
-            out << (c ? "," : "") << cell;
-        }
-        out << '\n';
-    }
-    return out.str();
-}
 
 TEST(SimCliSweep, ClosedModeKeepsHistoricalColumnsInvariant)
 {
