@@ -13,6 +13,7 @@
 
 #include "cli/sim_cli.hh"
 #include "sim/runner.hh"
+#include "sim/shard_runner.hh"
 #include "ssd/ssd.hh"
 #include "util/host_clock.hh"
 #include "workload/arrival.hh"
@@ -269,12 +270,19 @@ runCampaign(const config::CampaignSpec &campaign, std::ostream &log)
             }
             const SsdConfig cfg =
                 makeConfig(p.ftl, p.gamma, spec, p.device);
+            std::unique_ptr<ShardPool> run_pool;
             Ssd ssd(cfg);
             RunOptions ropts;
             ropts.prefill_pages = static_cast<uint64_t>(
                 spec.prefill_frac * spec.working_set_pages);
             ropts.mixed_prefill = true;
             ropts.queue_depth = p.qd;
+            if (spec.threads > 1) {
+                run_pool = std::make_unique<ShardPool>(spec.threads);
+                ssd.attachShardPool(run_pool.get());
+                ropts.pool = run_pool.get();
+                ropts.barrier_quantum = spec.barrier_quantum;
+            }
             ShaperSpec shaper;
             shaper.rate_iops = p.rate;
             shaper.seed = spec.seed;
@@ -324,9 +332,14 @@ runCampaign(const config::CampaignSpec &campaign, std::ostream &log)
         }
     };
 
-    unsigned jobs = spec.jobs
-                        ? spec.jobs
-                        : std::max(1u, std::thread::hardware_concurrency());
+    // Cap campaign fan-out so jobs x intra-run threads never silently
+    // oversubscribes the machine.
+    std::string jobs_warning;
+    unsigned jobs = clampSweepJobs(
+        spec.jobs, spec.threads,
+        std::max(1u, std::thread::hardware_concurrency()), &jobs_warning);
+    if (!jobs_warning.empty())
+        std::cerr << "leaftl_sim: " << jobs_warning << '\n';
     jobs = static_cast<unsigned>(
         std::min<size_t>(jobs, std::max<size_t>(1, pending.size())));
     std::vector<std::thread> pool;
@@ -457,6 +470,193 @@ runCampaign(const config::CampaignSpec &campaign, std::ostream &log)
         << "config_hash " << config_hash << " -> "
         << json_path.string() << '\n';
     log.flush();
+    return 0;
+}
+
+namespace
+{
+
+/** One run's summary metrics lifted from a BENCH_<name>.json. */
+struct DiffRun
+{
+    std::string label;
+    double throughput = 0.0; ///< throughput_mbps (simulated).
+    double p99_read = 0.0;   ///< p99_read_lat_us (simulated).
+    double wall_ns = 0.0;    ///< Host wall clock (nondeterministic).
+};
+
+bool
+extractString(const std::string &seg, const std::string &key,
+              std::string &out)
+{
+    const std::string pat = "\"" + key + "\": \"";
+    const size_t at = seg.find(pat);
+    if (at == std::string::npos)
+        return false;
+    const size_t begin = at + pat.size();
+    const size_t end = seg.find('"', begin);
+    if (end == std::string::npos)
+        return false;
+    out = seg.substr(begin, end - begin);
+    return true;
+}
+
+bool
+extractNumber(const std::string &seg, const std::string &key, double &out)
+{
+    const std::string pat = "\"" + key + "\": ";
+    const size_t at = seg.find(pat);
+    if (at == std::string::npos)
+        return false;
+    try {
+        out = std::stod(seg.substr(at + pat.size()));
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Parse the runs of a BENCH_<name>.json into a fingerprint-keyed
+ * map. The summary is our own emitter's output, so a targeted
+ * key scan is enough -- no general JSON parser needed.
+ */
+bool
+loadBenchRuns(const std::string &path, std::map<std::string, DiffRun> &runs,
+              std::string &err)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string pat = "\"fingerprint\": \"";
+    size_t at = text.find(pat);
+    while (at != std::string::npos) {
+        const size_t next = text.find(pat, at + pat.size());
+        const std::string seg = text.substr(
+            at, (next == std::string::npos ? text.size() : next) - at);
+        const size_t fp_end = seg.find('"', pat.size());
+        if (fp_end == std::string::npos) {
+            err = "malformed fingerprint in '" + path + "'";
+            return false;
+        }
+        const std::string fp = seg.substr(pat.size(), fp_end - pat.size());
+        DiffRun run;
+        std::string ftl, workload, device, mode;
+        double gamma = 0.0, qd = 0.0, rate = 0.0;
+        if (!extractString(seg, "ftl", ftl) ||
+            !extractString(seg, "workload", workload) ||
+            !extractString(seg, "device", device) ||
+            !extractString(seg, "mode", mode) ||
+            !extractNumber(seg, "gamma", gamma) ||
+            !extractNumber(seg, "qd", qd) ||
+            !extractNumber(seg, "throughput_mbps", run.throughput) ||
+            !extractNumber(seg, "p99_read_lat_us", run.p99_read) ||
+            !extractNumber(seg, "wall_ns", run.wall_ns)) {
+            err = "missing run fields in '" + path + "' (run " + fp + ")";
+            return false;
+        }
+        extractNumber(seg, "rate", rate);
+        std::ostringstream label;
+        label << ftl << "/" << workload << "/gamma="
+              << static_cast<uint64_t>(gamma)
+              << "/qd=" << static_cast<uint64_t>(qd) << "/" << device
+              << "/" << mode;
+        if (rate > 0.0)
+            label << "/rate=" << jsonNumber(rate);
+        run.label = label.str();
+        runs.emplace(fp, std::move(run));
+        at = next;
+    }
+    if (runs.empty()) {
+        err = "no runs found in '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+std::string
+pct(double from, double to)
+{
+    if (from == 0.0)
+        return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.2f%%",
+                  (to - from) / from * 100.0);
+    return buf;
+}
+
+} // namespace
+
+int
+campaignDiff(const std::string &path_a, const std::string &path_b,
+             double threshold_pct, std::ostream &out)
+{
+    std::map<std::string, DiffRun> a, b;
+    std::string err;
+    if (!loadBenchRuns(path_a, a, err) || !loadBenchRuns(path_b, b, err)) {
+        std::cerr << "leaftl_sim: " << err << '\n';
+        return 2;
+    }
+
+    size_t shared = 0;
+    for (const auto &[fp, run_a] : a)
+        shared += b.count(fp);
+    out << "campaign diff: " << path_a << " (" << a.size() << " runs) vs "
+        << path_b << " (" << b.size() << " runs), " << shared
+        << " shared\n";
+
+    // Shared fingerprints: identical canonical run configs, so the
+    // simulated metrics must match unless the simulator's behavior
+    // changed between the two campaigns. Wall clock is informational.
+    bool regressed = false;
+    for (const auto &[fp, run_a] : a) {
+        const auto it = b.find(fp);
+        if (it == b.end())
+            continue;
+        const DiffRun &run_b = it->second;
+        out << "  " << fp << " " << run_a.label << "\n"
+            << "    throughput " << jsonNumber(run_a.throughput) << " -> "
+            << jsonNumber(run_b.throughput) << " MB/s ("
+            << pct(run_a.throughput, run_b.throughput) << ")"
+            << ", p99 read " << jsonNumber(run_a.p99_read) << " -> "
+            << jsonNumber(run_b.p99_read) << " us ("
+            << pct(run_a.p99_read, run_b.p99_read) << ")"
+            << ", wall " << pct(run_a.wall_ns, run_b.wall_ns) << "\n";
+        if (threshold_pct > 0.0) {
+            if (run_a.throughput > 0.0 &&
+                run_b.throughput <
+                    run_a.throughput * (1.0 - threshold_pct / 100.0))
+                regressed = true;
+            if (run_a.p99_read > 0.0 &&
+                run_b.p99_read >
+                    run_a.p99_read * (1.0 + threshold_pct / 100.0))
+                regressed = true;
+        }
+    }
+    for (const auto &[fp, run_a] : a) {
+        if (!b.count(fp))
+            out << "  only in " << path_a << ": " << fp << " "
+                << run_a.label << "\n";
+    }
+    for (const auto &[fp, run_b] : b) {
+        if (!a.count(fp))
+            out << "  only in " << path_b << ": " << fp << " "
+                << run_b.label << "\n";
+    }
+
+    if (regressed) {
+        out << "campaign diff: REGRESSION beyond " << jsonNumber(
+               threshold_pct) << "% threshold\n";
+        return 1;
+    }
+    if (threshold_pct > 0.0)
+        out << "campaign diff: within " << jsonNumber(threshold_pct)
+            << "% threshold\n";
     return 0;
 }
 

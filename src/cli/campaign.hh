@@ -47,6 +47,23 @@ expandCampaignGrid(const config::ExperimentSpec &spec);
  */
 int runCampaign(const config::CampaignSpec &campaign, std::ostream &log);
 
+/**
+ * Compare two BENCH_<name>.json summaries by run fingerprint and
+ * print per-run throughput / p99-read-latency / wall-clock deltas
+ * (B relative to A), plus the runs only one side has. The simulated
+ * metrics are deterministic, so a nonzero delta on a shared
+ * fingerprint means the simulator's behavior changed between the two
+ * campaigns -- exactly what a perf-trajectory CI gate wants to catch.
+ *
+ * @param threshold_pct When > 0, exit code 1 if any shared run's
+ *        throughput drops, or its p99 read latency rises, by more
+ *        than this percentage. <= 0 reports only.
+ * @return 0 = within threshold (or report-only), 1 = regression,
+ *         2 = unreadable/unparseable input.
+ */
+int campaignDiff(const std::string &path_a, const std::string &path_b,
+                 double threshold_pct, std::ostream &out);
+
 } // namespace cli
 } // namespace leaftl
 

@@ -14,6 +14,7 @@
 #include "cli/campaign.hh"
 #include "flash/presets.hh"
 #include "sim/runner.hh"
+#include "sim/shard_runner.hh"
 #include "util/host_clock.hh"
 #include "util/parse.hh"
 #include "ssd/ssd.hh"
@@ -172,7 +173,19 @@ usage()
         << "  --trace-strict   fail on malformed trace lines instead of\n"
         << "                   skipping them\n"
         << "  --jobs N         sweep worker threads (default: hardware\n"
-        << "                   concurrency; rows stay in sweep order)\n"
+        << "                   concurrency; rows stay in sweep order;\n"
+        << "                   capped so jobs x threads fits the host)\n"
+        << "  --threads N      intra-run replay workers per run\n"
+        << "                   (default 1; results are bit-identical\n"
+        << "                   for any value -- wall clock only)\n"
+        << "  --quantum N      requests per intra-run barrier window\n"
+        << "                   (default " << kDefaultBarrierQuantum
+        << "; results do not depend on it)\n"
+        << "  --campaign-diff A B  compare two BENCH_<name>.json\n"
+        << "                   summaries by run fingerprint and print\n"
+        << "                   per-run throughput/p99 deltas\n"
+        << "  --diff-threshold PCT with --campaign-diff: exit 1 when a\n"
+        << "                   shared run regresses by more than PCT%\n"
         << "  --requests N     requests per run (default 100000)\n"
         << "  --ws PAGES       working-set pages (default 65536)\n"
         << "  --dram-mb MB     DRAM budget; 0 derives from the working "
@@ -246,6 +259,8 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
         {"--rate", "rate"},
         {"--burst-duty", "burst-duty"},
         {"--jobs", "jobs"},
+        {"--threads", "threads"},
+        {"--quantum", "quantum"},
         {"--requests", "requests"},
         {"--ws", "ws"},
         {"--dram-mb", "dram-mb"},
@@ -294,6 +309,22 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
             if (!need_value(i, value))
                 return false;
             opts.campaign_dir = value;
+        } else if (arg == "--campaign-diff") {
+            if (i + 2 >= norm.size()) {
+                err = "--campaign-diff requires two BENCH json paths";
+                return false;
+            }
+            opts.diff_a = norm[++i];
+            opts.diff_b = norm[++i];
+        } else if (arg == "--diff-threshold") {
+            if (!need_value(i, value))
+                return false;
+            try {
+                opts.diff_threshold = std::stod(value);
+            } catch (...) {
+                err = "bad --diff-threshold '" + value + "'";
+                return false;
+            }
         } else if (spec_flags.count(arg)) {
             if (!need_value(i, value))
                 return false;
@@ -642,12 +673,20 @@ runSweep(const config::ExperimentSpec &opts, std::ostream &out)
                 std::string err;
                 auto wl = makeWorkload(t.spec, opts, err, &trace_cache);
                 if (wl) {
+                    std::unique_ptr<ShardPool> run_pool;
                     Ssd ssd(makeConfig(t.ftl, t.gamma, opts, t.device));
                     RunOptions ropts;
                     ropts.prefill_pages = static_cast<uint64_t>(
                         opts.prefill_frac * opts.working_set_pages);
                     ropts.mixed_prefill = true;
                     ropts.queue_depth = t.qd;
+                    if (opts.threads > 1) {
+                        run_pool =
+                            std::make_unique<ShardPool>(opts.threads);
+                        ssd.attachShardPool(run_pool.get());
+                        ropts.pool = run_pool.get();
+                        ropts.barrier_quantum = opts.barrier_quantum;
+                    }
                     wl = applyMode(std::move(wl), t.mode, t.rate, opts,
                                    ropts);
                     HostTimer timer;
@@ -668,9 +707,14 @@ runSweep(const config::ExperimentSpec &opts, std::ostream &out)
         }
     };
 
-    unsigned jobs = opts.jobs ? opts.jobs
-                              : std::max(1u,
-                                         std::thread::hardware_concurrency());
+    // Cap sweep fan-out so jobs x intra-run threads never silently
+    // oversubscribes the machine.
+    std::string jobs_warning;
+    unsigned jobs = clampSweepJobs(
+        opts.jobs, opts.threads,
+        std::max(1u, std::thread::hardware_concurrency()), &jobs_warning);
+    if (!jobs_warning.empty())
+        std::cerr << "leaftl_sim: " << jobs_warning << '\n';
     jobs = static_cast<unsigned>(
         std::min<size_t>(jobs, std::max<size_t>(1, tasks.size())));
     std::vector<std::thread> pool;
@@ -730,6 +774,11 @@ simMain(int argc, const char *const *argv)
             std::cout << "device:" << p.name << "  (" << p.description
                       << ")\n";
         return 0;
+    }
+
+    if (!opts.diff_a.empty()) {
+        return campaignDiff(opts.diff_a, opts.diff_b, opts.diff_threshold,
+                            std::cout);
     }
 
     if (!opts.campaign.empty()) {

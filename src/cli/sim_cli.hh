@@ -57,6 +57,18 @@ struct SimOptions : config::ExperimentSpec
     /** --campaign-dir DIR: override the campaign output directory. */
     std::string campaign_dir;
 
+    /** --campaign-diff A B: compare two BENCH_<name>.json summaries. */
+    std::string diff_a;
+    std::string diff_b;
+
+    /**
+     * --diff-threshold PCT: --campaign-diff exits 1 when any shared
+     * run regresses by more than this percentage on throughput or
+     * improves p99 read latency's inverse (i.e. p99 grows) beyond it.
+     * <= 0 disables the regression gate (report only).
+     */
+    double diff_threshold = 0.0;
+
     /**
      * --set KEY=VALUE overrides in flag order. Already applied to
      * this spec; kept raw so --campaign can replay them on top of

@@ -76,7 +76,8 @@ knownExperimentKeys()
 {
     return {"ftl",     "workload",     "gamma",      "qd",
             "device",  "mode",         "rate",       "burst-duty",
-            "trace-strict", "jobs",    "requests",   "ws",
+            "trace-strict", "jobs",    "threads",    "quantum",
+            "requests", "ws",
             "dram-mb", "dram-bytes",   "prefill",    "read-ratio",
             "interarrival", "seed"};
 }
@@ -232,6 +233,24 @@ applyExperimentKey(ExperimentSpec &spec, const std::string &raw_key,
             return false;
         }
         spec.jobs = static_cast<unsigned>(v);
+        return true;
+    }
+    if (key == "threads") {
+        uint64_t v;
+        if (!parseU64(value, v) || v == 0 || v > 256) {
+            err = "bad threads '" + value + "'";
+            return false;
+        }
+        spec.threads = static_cast<unsigned>(v);
+        return true;
+    }
+    if (key == "quantum") {
+        uint64_t v;
+        if (!parseU64(value, v) || v > (1u << 20)) {
+            err = "bad quantum '" + value + "'";
+            return false;
+        }
+        spec.barrier_quantum = static_cast<uint32_t>(v);
         return true;
     }
     if (key == "requests") {

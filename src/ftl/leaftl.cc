@@ -81,6 +81,25 @@ LeaFtl::translate(Lpa lpa)
     return {true, res->ppa, res->approximate};
 }
 
+TranslateResult
+LeaFtl::translateHinted(Lpa lpa, const RawLookup &raw)
+{
+    auto res = table_->lookupHinted(lpa, raw);
+    if (!res)
+        return {};
+    touchGroup(groupOf(lpa), /*dirty=*/false);
+    if (res->ppa == kTombstonePpa && !res->approximate)
+        return {}; // Trimmed.
+    return {true, res->ppa, res->approximate};
+}
+
+void
+LeaFtl::setShardPool(ShardPool *pool)
+{
+    pool_ = pool;
+    table_->setShardPool(pool);
+}
+
 void
 LeaFtl::trim(Lpa lpa)
 {
@@ -153,6 +172,7 @@ void
 LeaFtl::restore(const std::vector<uint8_t> &blob)
 {
     table_ = LearnedTable::deserialize(blob);
+    table_->setShardPool(pool_); // The new table inherits the workers.
     // DRAM residency is gone after a crash; groups reload on demand.
     lru_.clear();
     resident_.clear();

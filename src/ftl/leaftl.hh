@@ -36,6 +36,8 @@ class LeaFtl : public Ftl
     LeaFtl(FtlOps &ops, uint32_t gamma, uint32_t page_size);
 
     TranslateResult translate(Lpa lpa) override;
+    TranslateResult translateHinted(Lpa lpa, const RawLookup &raw) override;
+    void setShardPool(ShardPool *pool) override;
     void trim(Lpa lpa) override;
     void recordMappings(const std::vector<std::pair<Lpa, Ppa>> &run) override;
     void
@@ -75,6 +77,7 @@ class LeaFtl : public Ftl
 
     std::unique_ptr<LearnedTable> table_;
     uint32_t page_size_;
+    ShardPool *pool_ = nullptr; ///< Intra-run workers (not owned).
 
     // §3.8 demand caching of segment groups (GMD + translation blocks).
     struct Residency

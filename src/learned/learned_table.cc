@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "sim/shard_runner.hh"
+
 namespace leaftl
 {
 
@@ -40,22 +42,71 @@ LearnedTable::learn(const std::vector<std::pair<Lpa, Ppa>> &run)
     std::vector<uint32_t> touched;
     if (run.empty())
         return touched;
-    epoch_++; // Cached level-0 entries may be superseded below.
-    for (auto &[group_idx, fitted] : fitRun(run, gamma_)) {
+    bumpEpoch(); // Cached level-0 entries may be superseded below.
+    auto fitted = fitRun(run, gamma_);
+    if (!pool_ || fitted.size() < 2) {
+        for (auto &[group_idx, segs] : fitted) {
+            touched.push_back(group_idx);
+            Group &group = groups_.getOrCreate(group_idx);
+            beginMutate(group);
+            for (const FittedSegment &fs : segs) {
+                stats_.segments_created++;
+                if (fs.seg.approximate())
+                    stats_.approximate_created++;
+                else
+                    stats_.accurate_created++;
+                stats_.creation_lengths.add(fs.offs.size());
+                group.update(fs, scratch_);
+            }
+            endMutate(group);
+        }
+        return touched;
+    }
+
+    // Parallel learn. Directory creation and the table totals are
+    // order-dependent, so they stay on the commit thread; the per-group
+    // merges -- the bulk of the work -- fan out. fitRun() emits each
+    // group index at most once, so stripes mutate disjoint Group
+    // objects, and group pointers collected here stay valid across the
+    // later getOrCreate calls (groups never move).
+    touched.reserve(fitted.size());
+    std::vector<Group *> groups;
+    groups.reserve(fitted.size());
+    for (auto &[group_idx, segs] : fitted) {
         touched.push_back(group_idx);
         Group &group = groups_.getOrCreate(group_idx);
         beginMutate(group);
-        for (const FittedSegment &fs : fitted) {
-            stats_.segments_created++;
-            if (fs.seg.approximate())
-                stats_.approximate_created++;
-            else
-                stats_.accurate_created++;
-            stats_.creation_lengths.add(fs.offs.size());
-            group.update(fs, scratch_);
-        }
-        endMutate(group);
+        groups.push_back(&group);
     }
+    pool_->parallelFor(
+        fitted.size(), [&](size_t begin, size_t end, uint32_t w) {
+            CreateTally &tally = worker_tally_[w];
+            MergeScratch &scratch = worker_scratch_[w];
+            for (size_t i = begin; i < end; i++) {
+                for (const FittedSegment &fs : fitted[i].second) {
+                    tally.segments++;
+                    if (fs.seg.approximate())
+                        tally.approximate++;
+                    else
+                        tally.accurate++;
+                    tally.lengths.add(fs.offs.size());
+                    groups[i]->update(fs, scratch);
+                }
+            }
+        });
+    // Merge the creation tallies in worker order: integer counters and
+    // a double sum of small integers, so the result is bit-identical
+    // to the serial accumulation for any worker count.
+    for (CreateTally &tally : worker_tally_) {
+        stats_.segments_created += tally.segments;
+        stats_.accurate_created += tally.accurate;
+        stats_.approximate_created += tally.approximate;
+        stats_.creation_lengths.merge(tally.lengths);
+        tally.segments = tally.accurate = tally.approximate = 0;
+        tally.lengths.clear();
+    }
+    for (Group *group : groups)
+        endMutate(*group);
     return touched;
 }
 
@@ -90,7 +141,7 @@ LearnedTable::lookup(Lpa lpa) const
     // covers and owns this offset (and the table is unchanged), a full
     // scan would find exactly this segment at depth 1 -- within a
     // level, covering segments are unique, and level 0 is topmost.
-    if (cache_.top && cache_.epoch == epoch_ &&
+    if (cache_.top && cache_.epoch == epoch() &&
         group->hasLpa(*cache_.top, off)) {
         stats_.lookup_cache_hits++;
         stats_.lookups++;
@@ -106,7 +157,7 @@ LearnedTable::lookup(Lpa lpa) const
         return std::nullopt;
     if (top_hit) {
         cache_.top = top_hit;
-        cache_.epoch = epoch_;
+        cache_.epoch = epoch();
     }
     stats_.lookups++;
     stats_.lookup_levels_total += res->levels_visited;
@@ -114,15 +165,117 @@ LearnedTable::lookup(Lpa lpa) const
     return TableLookup{res->ppa, res->approximate, res->levels_visited};
 }
 
+RawLookup
+LearnedTable::lookupRaw(Lpa lpa) const
+{
+    RawLookup out;
+    out.epoch = epoch();
+    const Group *group = groups_.find(groupOf(lpa));
+    if (!group)
+        return out;
+    const uint8_t off = static_cast<uint8_t>(groupOffset(lpa));
+    const SegEntry *top_hit = nullptr;
+    auto res = group->lookup(off, &top_hit);
+    if (!res)
+        return out;
+    out.found = true;
+    out.ppa = res->ppa;
+    out.approximate = res->approximate;
+    out.levels_visited = res->levels_visited;
+    out.top = top_hit;
+    return out;
+}
+
+std::optional<TableLookup>
+LearnedTable::lookupHinted(Lpa lpa, const RawLookup &raw)
+{
+    if (raw.epoch != epoch())
+        return lookup(lpa); // Stale probe: a mutation intervened.
+
+    const uint32_t group_idx = groupOf(lpa);
+    const uint8_t off = static_cast<uint8_t>(groupOffset(lpa));
+
+    // Replay lookup()'s directory and last-hit shortcuts exactly --
+    // including their cache and statistics side effects -- so the
+    // observable table state evolves bit for bit as if lookup() ran.
+    const Group *group;
+    if (cache_.group_idx == group_idx) {
+        group = cache_.group;
+    } else {
+        group = groups_.find(group_idx);
+        if (group) {
+            cache_.group_idx = group_idx;
+            cache_.group = group;
+        } else {
+            cache_.group_idx = kInvalidLpa;
+            cache_.group = nullptr;
+        }
+        cache_.top = nullptr;
+    }
+    if (!group)
+        return std::nullopt;
+
+    if (cache_.top && cache_.epoch == epoch() &&
+        group->hasLpa(*cache_.top, off)) {
+        stats_.lookup_cache_hits++;
+        stats_.lookups++;
+        stats_.lookup_levels_total += 1;
+        stats_.lookup_levels.add(1);
+        return TableLookup{cache_.top->seg.predict(off),
+                           cache_.top->seg.approximate(), 1};
+    }
+
+    // Consume the precomputed level scan instead of re-walking it.
+    if (!raw.found)
+        return std::nullopt;
+    if (raw.top) {
+        cache_.top = raw.top;
+        cache_.epoch = epoch();
+    }
+    stats_.lookups++;
+    stats_.lookup_levels_total += raw.levels_visited;
+    stats_.lookup_levels.add(raw.levels_visited);
+    return TableLookup{raw.ppa, raw.approximate, raw.levels_visited};
+}
+
+void
+LearnedTable::setShardPool(ShardPool *pool)
+{
+    pool_ = pool;
+    const uint32_t n = pool ? pool->workers() : 0;
+    worker_scratch_.resize(n);
+    worker_tally_.resize(n);
+}
+
 void
 LearnedTable::compact()
 {
-    epoch_++;
+    bumpEpoch();
+    if (!pool_) {
+        groups_.forEach([&](uint32_t, Group &group) {
+            beginMutate(group);
+            group.compact(scratch_);
+            endMutate(group);
+        });
+        return;
+    }
+
+    // Parallel compaction: each group's compact touches only that
+    // group, so the same disjoint-stripe argument as learn() applies.
+    std::vector<Group *> groups;
+    groups.reserve(groups_.size());
     groups_.forEach([&](uint32_t, Group &group) {
         beginMutate(group);
-        group.compact(scratch_);
-        endMutate(group);
+        groups.push_back(&group);
     });
+    pool_->parallelFor(groups.size(),
+                       [&](size_t begin, size_t end, uint32_t w) {
+                           MergeScratch &scratch = worker_scratch_[w];
+                           for (size_t i = begin; i < end; i++)
+                               groups[i]->compact(scratch);
+                       });
+    for (Group *group : groups)
+        endMutate(*group);
 }
 
 SampleSet

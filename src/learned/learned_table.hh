@@ -30,6 +30,7 @@
 #ifndef LEAFTL_LEARNED_LEARNED_TABLE_HH
 #define LEAFTL_LEARNED_LEARNED_TABLE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -44,12 +45,36 @@
 namespace leaftl
 {
 
+class ShardPool;
+
 /** Result of a table lookup. */
 struct TableLookup
 {
     Ppa ppa;
     bool approximate;
     uint32_t levels_visited;
+};
+
+/**
+ * Result of a thread-safe raw translation probe (lookupRaw): the full
+ * level-scan outcome plus the epoch it was computed at. Raw probes
+ * touch no mutable table state, so any number of workers may compute
+ * them concurrently while no mutation runs (the shard runner's
+ * quiescent-state discipline). The commit thread later consumes a
+ * probe through lookupHinted(), which honors it only when the epoch
+ * still matches -- a learn or compaction in between retires the hint
+ * by mismatch (group objects never move or die, so a stale @a top is
+ * detected, never dangling).
+ */
+struct RawLookup
+{
+    uint64_t epoch = 0;        ///< Table epoch the probe ran at.
+    bool found = false;        ///< LPA had a mapping.
+    Ppa ppa = kInvalidPpa;     ///< Predicted PPA when found.
+    bool approximate = false;  ///< Served by an approximate segment.
+    uint32_t levels_visited = 0;
+    /** Level-0 serving entry (lookup-cache candidate), if any. */
+    const SegEntry *top = nullptr;
 };
 
 /**
@@ -98,6 +123,42 @@ class LearnedTable
 
     /** Translate an LPA; nullopt when never learned. */
     std::optional<TableLookup> lookup(Lpa lpa) const;
+
+    /**
+     * Thread-safe raw translation probe: the same level scan lookup()
+     * performs, but touching no mutable state (no lookup cache, no
+     * statistics). Safe to call from any number of threads while no
+     * mutation runs; the result carries the epoch it was computed at
+     * so lookupHinted() can validate it later.
+     */
+    RawLookup lookupRaw(Lpa lpa) const;
+
+    /**
+     * Translate an LPA using a previously computed raw probe. When
+     * @a raw is still current (same epoch), the level scan is skipped
+     * and the probe's result is consumed through exactly the lookup()
+     * cache and statistics protocol -- observable state evolves bit
+     * for bit as if lookup() had run. A stale probe (any mutation
+     * since) falls back to a full lookup(). Must be called from the
+     * commit thread (it advances the mutable lookup cache).
+     */
+    std::optional<TableLookup> lookupHinted(Lpa lpa, const RawLookup &raw);
+
+    /** Current mutation epoch (bumped by every learn/compact/restore). */
+    uint64_t
+    epoch() const
+    {
+        return epoch_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Attach a worker pool: learns and compactions fan their
+     * per-group work out across it (disjoint groups, per-worker merge
+     * arenas, creation tallies merged in worker order -- results and
+     * statistics stay bit-identical to the serial path). nullptr
+     * detaches.
+     */
+    void setShardPool(ShardPool *pool);
 
     /** Compact every group (triggered periodically by the FTL, §3.7). */
     void compact();
@@ -176,12 +237,45 @@ class LearnedTable
         total_bytes_ += g.memoryBytes();
     }
 
+    /** Bump the mutation epoch (single writer: the commit thread). */
+    void
+    bumpEpoch()
+    {
+        epoch_.store(epoch_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+    }
+
     uint32_t gamma_;
     GroupDirectory groups_;
     /** Learn-path arena: reused across learns and compactions. */
     MergeScratch scratch_;
-    /** Bumped on every mutation; gates the lookup cache's entry. */
-    uint64_t epoch_ = 1;
+    /**
+     * Bumped on every mutation; gates the lookup cache's entry and
+     * retires outstanding RawLookup hints. Atomic so concurrent raw
+     * probes may stamp it without formal data races; there is exactly
+     * one writer (the commit thread) and writes only happen while no
+     * probe runs, so relaxed ordering suffices -- the shard runner's
+     * barrier provides the happens-before edges.
+     */
+    std::atomic<uint64_t> epoch_{1};
+
+    /** Worker pool for parallel learns/compactions (not owned). */
+    ShardPool *pool_ = nullptr;
+    /** One merge arena per worker (index = worker id). */
+    std::vector<MergeScratch> worker_scratch_;
+    /**
+     * Per-worker creation-statistics tally for one parallel learn;
+     * merged into stats_ in worker order (exact, so bit-identical to
+     * the serial accumulation) and cleared for reuse.
+     */
+    struct CreateTally
+    {
+        uint64_t segments = 0;
+        uint64_t accurate = 0;
+        uint64_t approximate = 0;
+        CountHistogram lengths{256};
+    };
+    std::vector<CreateTally> worker_tally_;
 
     /** One-entry last-hit translation cache. */
     struct LookupCache

@@ -1,0 +1,108 @@
+#include "sim/shard_runner.hh"
+
+#include <algorithm>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+ShardPool::ShardPool(uint32_t workers) : workers_(std::max(1u, workers))
+{
+    threads_.reserve(workers_ - 1);
+    for (uint32_t w = 1; w < workers_; w++)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ShardPool::~ShardPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ShardPool::parallelFor(size_t n,
+                       const std::function<void(size_t, size_t, uint32_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_ == 1) {
+        fn(0, n, 0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        LEAFTL_ASSERT(pending_ == 0, "parallelFor is not reentrant");
+        job_n_ = n;
+        job_ = &fn;
+        pending_ = workers_ - 1;
+        generation_++;
+    }
+    work_cv_.notify_all();
+
+    const auto [begin, end] = stripe(n, 0);
+    if (begin < end)
+        fn(begin, end, 0);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ShardPool::workerLoop(uint32_t w)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(size_t, size_t, uint32_t)> *job;
+        size_t n;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+            n = job_n_;
+        }
+        const auto [begin, end] = stripe(n, w);
+        if (begin < end)
+            (*job)(begin, end, w);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+unsigned
+clampSweepJobs(unsigned jobs_requested, unsigned threads, unsigned hw,
+               std::string *warning)
+{
+    hw = std::max(1u, hw);
+    threads = std::max(1u, threads);
+    const unsigned budget = std::max(1u, hw / threads);
+    if (jobs_requested == 0)
+        return budget; // Auto: hardware concurrency over the run width.
+    if (threads > 1 && jobs_requested > budget) {
+        if (warning) {
+            *warning = "capping --jobs " + std::to_string(jobs_requested) +
+                       " to " + std::to_string(budget) + ": --threads " +
+                       std::to_string(threads) + " per run x " +
+                       std::to_string(jobs_requested) +
+                       " runs exceeds the " + std::to_string(hw) +
+                       " hardware threads";
+        }
+        return budget;
+    }
+    return jobs_requested;
+}
+
+} // namespace leaftl

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ftl/leaftl.hh"
+#include "sim/shard_runner.hh"
 
 namespace leaftl
 {
@@ -136,7 +137,7 @@ Ssd::resolveExact(Lpa lpa, Ppa predicted, bool already_read)
 }
 
 Tick
-Ssd::read(Lpa lpa, Tick now)
+Ssd::read(Lpa lpa, Tick now, const RawLookup *hint)
 {
     LEAFTL_ASSERT(lpa < cfg_.hostPages(), "host read beyond capacity");
     stats_.host_reads++;
@@ -154,7 +155,8 @@ Ssd::read(Lpa lpa, Tick now)
         return lat;
     }
 
-    TranslateResult tr = ftl_->translate(lpa);
+    TranslateResult tr =
+        hint ? ftl_->translateHinted(lpa, *hint) : ftl_->translate(lpa);
     if (!tr.found) {
         // Never-written page: served as zeros.
         stats_.unmapped_reads++;
@@ -228,17 +230,26 @@ Ssd::write(Lpa lpa, Tick now)
 }
 
 Tick
-Ssd::submit(const IoRequest &req, Tick now)
+Ssd::submit(const IoRequest &req, Tick now, const RawLookup *page_hints)
 {
     const uint64_t host_pages = cfg_.hostPages();
     Tick done = now;
     for (uint32_t i = 0; i < req.npages; i++) {
         const Lpa lpa = static_cast<Lpa>((req.lpa + i) % host_pages);
         const Tick lat =
-            req.op == Op::Read ? read(lpa, now) : write(lpa, now);
+            req.op == Op::Read
+                ? read(lpa, now, page_hints ? &page_hints[i] : nullptr)
+                : write(lpa, now);
         done = std::max(done, now + lat);
     }
     return done;
+}
+
+void
+Ssd::attachShardPool(ShardPool *pool)
+{
+    pool_ = pool;
+    ftl_->setShardPool(pool);
 }
 
 Tick
@@ -333,24 +344,27 @@ Ssd::recordHostMappings(const std::vector<std::pair<Lpa, Ppa>> &run)
 }
 
 void
-Ssd::flushBuffer(Tick)
+Ssd::invalidateOldLocations(const std::vector<Lpa> &lpas)
 {
-    if (buffer_.empty())
-        return;
-
-    // The flush (and everything it triggers) happens in the
-    // background: it occupies channels but the triggering host write
-    // does not wait for it.
-    const Tick host_cursor = cur_time_;
-
-    std::vector<Lpa> lpas =
-        cfg_.sort_flush ? buffer_.drainSorted() : buffer_.drainFifo();
-
     // Invalidate the old locations of overwritten LPAs, keeping
     // BVC/PVT exact. Approximate translations are verified through
     // the same OOB path as reads (charged on mispredict only).
-    for (Lpa lpa : lpas) {
-        TranslateResult tr = ftl_->translate(lpa);
+    LearnedTable *table = pool_ ? ftl_->learnedTable() : nullptr;
+    const RawLookup *hints = nullptr;
+    if (table && lpas.size() > 1) {
+        raw_scratch_.resize(lpas.size());
+        pool_->parallelFor(lpas.size(),
+                           [&](size_t begin, size_t end, uint32_t) {
+                               for (size_t i = begin; i < end; i++)
+                                   raw_scratch_[i] =
+                                       table->lookupRaw(lpas[i]);
+                           });
+        hints = raw_scratch_.data();
+    }
+    for (size_t i = 0; i < lpas.size(); i++) {
+        const Lpa lpa = lpas[i];
+        TranslateResult tr = hints ? ftl_->translateHinted(lpa, hints[i])
+                                   : ftl_->translate(lpa);
         if (!tr.found)
             continue;
         stats_.translations++;
@@ -365,6 +379,23 @@ Ssd::flushBuffer(Tick)
         if (old != kInvalidPpa)
             blocks_.invalidate(old);
     }
+}
+
+void
+Ssd::flushBuffer(Tick)
+{
+    if (buffer_.empty())
+        return;
+
+    // The flush (and everything it triggers) happens in the
+    // background: it occupies channels but the triggering host write
+    // does not wait for it.
+    const Tick host_cursor = cur_time_;
+
+    std::vector<Lpa> lpas =
+        cfg_.sort_flush ? buffer_.drainSorted() : buffer_.drainFifo();
+
+    invalidateOldLocations(lpas);
 
     const auto &run = programBatch(lpas, cur_time_, WriteKind::Host);
     recordHostMappings(run);
@@ -395,23 +426,7 @@ Ssd::drainBuffer(Tick now)
     if (!buffer_.empty()) {
         std::vector<Lpa> lpas =
             cfg_.sort_flush ? buffer_.drainSorted() : buffer_.drainFifo();
-        for (Lpa lpa : lpas) {
-            TranslateResult tr = ftl_->translate(lpa);
-            if (!tr.found)
-                continue;
-            stats_.translations++;
-            tr.ppa = std::min<Ppa>(
-                tr.ppa,
-                static_cast<Ppa>(flash_.geometry().totalPages() - 1));
-            Ppa old =
-                tr.approximate
-                    ? resolveExact(lpa, tr.ppa, /*already_read=*/false)
-                    : tr.ppa;
-            if (old != kInvalidPpa && !blocks_.isValid(old))
-                old = kInvalidPpa; // Stale post-crash mapping.
-            if (old != kInvalidPpa)
-                blocks_.invalidate(old);
-        }
+        invalidateOldLocations(lpas);
         const auto &run = programBatch(lpas, cur_time_, WriteKind::Host);
         recordHostMappings(run);
         updateDramSplit();
