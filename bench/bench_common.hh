@@ -7,8 +7,7 @@
  * uses. Ratios, not absolute numbers, are the reproduction target.
  */
 
-#ifndef LEAFTL_BENCH_BENCH_COMMON_HH
-#define LEAFTL_BENCH_BENCH_COMMON_HH
+#pragma once
 
 #include <cstdint>
 #include <cstdio>
@@ -254,5 +253,3 @@ banner(const char *fig, const char *what)
 
 } // namespace bench
 } // namespace leaftl
-
-#endif // LEAFTL_BENCH_BENCH_COMMON_HH

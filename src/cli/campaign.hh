@@ -15,8 +15,7 @@
  * executes only what is missing and rewrites the summary.
  */
 
-#ifndef LEAFTL_CLI_CAMPAIGN_HH
-#define LEAFTL_CLI_CAMPAIGN_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -66,5 +65,3 @@ int campaignDiff(const std::string &path_a, const std::string &path_b,
 
 } // namespace cli
 } // namespace leaftl
-
-#endif // LEAFTL_CLI_CAMPAIGN_HH

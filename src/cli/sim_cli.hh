@@ -21,8 +21,7 @@
  * parser and the sweep without spawning a process.
  */
 
-#ifndef LEAFTL_CLI_SIM_CLI_HH
-#define LEAFTL_CLI_SIM_CLI_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -158,5 +157,3 @@ int simMain(int argc, const char *const *argv);
 
 } // namespace cli
 } // namespace leaftl
-
-#endif // LEAFTL_CLI_SIM_CLI_HH

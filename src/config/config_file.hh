@@ -27,8 +27,7 @@
  * same per-key validation the command-line flags use.
  */
 
-#ifndef LEAFTL_CONFIG_CONFIG_FILE_HH
-#define LEAFTL_CONFIG_CONFIG_FILE_HH
+#pragma once
 
 #include <string>
 #include <utility>
@@ -109,5 +108,3 @@ class ConfigFile
 
 } // namespace config
 } // namespace leaftl
-
-#endif // LEAFTL_CONFIG_CONFIG_FILE_HH

@@ -16,8 +16,7 @@
  * and the nearest known key suggested.
  */
 
-#ifndef LEAFTL_CONFIG_EXPERIMENT_HH
-#define LEAFTL_CONFIG_EXPERIMENT_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -191,5 +190,3 @@ bool loadCampaignFile(const std::string &path, CampaignSpec &campaign,
 
 } // namespace config
 } // namespace leaftl
-
-#endif // LEAFTL_CONFIG_EXPERIMENT_HH

@@ -14,8 +14,7 @@
  * run-<fingerprint>.csv files already exist.
  */
 
-#ifndef LEAFTL_CONFIG_FINGERPRINT_HH
-#define LEAFTL_CONFIG_FINGERPRINT_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -56,5 +55,3 @@ std::string runFingerprint(const ExperimentSpec &spec,
 
 } // namespace config
 } // namespace leaftl
-
-#endif // LEAFTL_CONFIG_FINGERPRINT_HH

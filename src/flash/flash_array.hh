@@ -23,8 +23,7 @@
  * and a mostly-empty device stays cheap for its whole lifetime.
  */
 
-#ifndef LEAFTL_FLASH_FLASH_ARRAY_HH
-#define LEAFTL_FLASH_FLASH_ARRAY_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -127,5 +126,3 @@ class FlashArray
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_FLASH_FLASH_ARRAY_HH

@@ -8,8 +8,7 @@
  * and exploit the internal parallelism the paper relies on (§3.3).
  */
 
-#ifndef LEAFTL_FLASH_GEOMETRY_HH
-#define LEAFTL_FLASH_GEOMETRY_HH
+#pragma once
 
 #include <cstdint>
 
@@ -70,5 +69,3 @@ struct Geometry
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_FLASH_GEOMETRY_HH

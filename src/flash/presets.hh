@@ -15,8 +15,7 @@
  * per-page LPAs.
  */
 
-#ifndef LEAFTL_FLASH_PRESETS_HH
-#define LEAFTL_FLASH_PRESETS_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -58,5 +57,3 @@ std::vector<std::string> devicePresetNames();
 const DevicePreset *findDevicePreset(const std::string &name);
 
 } // namespace leaftl
-
-#endif // LEAFTL_FLASH_PRESETS_HH

@@ -9,8 +9,7 @@
  * relative comparisons require.
  */
 
-#ifndef LEAFTL_FLASH_TIMING_HH
-#define LEAFTL_FLASH_TIMING_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -74,5 +73,3 @@ class ChannelTimer
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_FLASH_TIMING_HH

@@ -15,8 +15,7 @@
  *   - GC updates translation pages directly (RMW per affected page).
  */
 
-#ifndef LEAFTL_FTL_DFTL_HH
-#define LEAFTL_FTL_DFTL_HH
+#pragma once
 
 #include <list>
 #include <unordered_map>
@@ -83,5 +82,3 @@ class Dftl : public Ftl
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_FTL_DFTL_HH

@@ -11,8 +11,7 @@
  * counters and the same channel timeline.
  */
 
-#ifndef LEAFTL_FTL_FTL_HH
-#define LEAFTL_FTL_FTL_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -132,5 +131,3 @@ class Ftl
 std::unique_ptr<Ftl> makeFtl(const SsdConfig &cfg, FtlOps &ops);
 
 } // namespace leaftl
-
-#endif // LEAFTL_FTL_FTL_HH

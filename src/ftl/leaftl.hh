@@ -17,8 +17,7 @@
  * resident -- the machinery matters when DRAM is extremely scarce.
  */
 
-#ifndef LEAFTL_FTL_LEAFTL_HH
-#define LEAFTL_FTL_LEAFTL_HH
+#pragma once
 
 #include <list>
 #include <unordered_map>
@@ -94,5 +93,3 @@ class LeaFtl : public Ftl
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_FTL_LEAFTL_HH

@@ -15,8 +15,7 @@
  * the bitmap.
  */
 
-#ifndef LEAFTL_FTL_SFTL_HH
-#define LEAFTL_FTL_SFTL_HH
+#pragma once
 
 #include <list>
 #include <unordered_map>
@@ -92,5 +91,3 @@ class Sftl : public Ftl
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_FTL_SFTL_HH

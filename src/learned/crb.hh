@@ -20,8 +20,7 @@
  *   - empty runs disappear together with their segment.
  */
 
-#ifndef LEAFTL_LEARNED_CRB_HH
-#define LEAFTL_LEARNED_CRB_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -105,5 +104,3 @@ class Crb
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_LEARNED_CRB_HH

@@ -29,8 +29,7 @@
  * indirection.
  */
 
-#ifndef LEAFTL_LEARNED_GROUP_HH
-#define LEAFTL_LEARNED_GROUP_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -229,5 +228,3 @@ class Group
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_LEARNED_GROUP_HH

@@ -16,8 +16,7 @@
  * persisted even when all their segments died).
  */
 
-#ifndef LEAFTL_LEARNED_GROUP_DIRECTORY_HH
-#define LEAFTL_LEARNED_GROUP_DIRECTORY_HH
+#pragma once
 
 #include <bit>
 #include <cstdint>
@@ -142,5 +141,3 @@ class GroupDirectory
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_LEARNED_GROUP_DIRECTORY_HH

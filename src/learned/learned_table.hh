@@ -27,8 +27,7 @@
  *     same depth -- observable results and stats are unchanged.
  */
 
-#ifndef LEAFTL_LEARNED_LEARNED_TABLE_HH
-#define LEAFTL_LEARNED_LEARNED_TABLE_HH
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -296,5 +295,3 @@ class LearnedTable
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_LEARNED_LEARNED_TABLE_HH

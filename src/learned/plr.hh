@@ -21,8 +21,7 @@
  * is violated (rare; guarantees correctness by construction).
  */
 
-#ifndef LEAFTL_LEARNED_PLR_HH
-#define LEAFTL_LEARNED_PLR_HH
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -82,5 +81,3 @@ std::vector<uint32_t>
 plrRunLengths(const std::vector<std::pair<Lpa, Ppa>> &run, uint32_t gamma);
 
 } // namespace leaftl
-
-#endif // LEAFTL_LEARNED_PLR_HH

@@ -26,8 +26,7 @@
  * matching the paper's rule that K and I are immutable after learning.
  */
 
-#ifndef LEAFTL_LEARNED_SEGMENT_HH
-#define LEAFTL_LEARNED_SEGMENT_HH
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -166,5 +165,3 @@ class Segment
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_LEARNED_SEGMENT_HH

@@ -7,8 +7,7 @@
  * deterministic even when many requests complete at the same tick.
  */
 
-#ifndef LEAFTL_SIM_EVENT_QUEUE_HH
-#define LEAFTL_SIM_EVENT_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -73,5 +72,3 @@ class EventQueue
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_SIM_EVENT_QUEUE_HH

@@ -5,8 +5,7 @@
  * misprediction ratio, lookup depth) plus normalization helpers.
  */
 
-#ifndef LEAFTL_SIM_METRICS_HH
-#define LEAFTL_SIM_METRICS_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -144,5 +143,3 @@ struct RunResult
 double normalizeTo(double value, double baseline);
 
 } // namespace leaftl
-
-#endif // LEAFTL_SIM_METRICS_HH

@@ -5,8 +5,7 @@
  * helpers keep the formatting consistent.
  */
 
-#ifndef LEAFTL_SIM_REPORTER_HH
-#define LEAFTL_SIM_REPORTER_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -56,5 +55,3 @@ void printLatencyPercentiles(const std::string &title,
                              const LatencyHistogram &hist);
 
 } // namespace leaftl
-
-#endif // LEAFTL_SIM_REPORTER_HH

@@ -31,8 +31,7 @@
  * p50/p95/p99/p99.9 and offered-vs-achieved throughput per run.
  */
 
-#ifndef LEAFTL_SIM_RUNNER_HH
-#define LEAFTL_SIM_RUNNER_HH
+#pragma once
 
 #include <cstdint>
 
@@ -122,5 +121,3 @@ class Runner
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_SIM_RUNNER_HH

@@ -26,20 +26,20 @@ ShardPool::~ShardPool()
 }
 
 void
-ShardPool::parallelFor(size_t n,
-                       const std::function<void(size_t, size_t, uint32_t)> &fn)
+ShardPool::runJob(size_t n, JobFn fn, void *ctx)
 {
     if (n == 0)
         return;
     if (workers_ == 1) {
-        fn(0, n, 0);
+        fn(ctx, 0, n, 0);
         return;
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         LEAFTL_ASSERT(pending_ == 0, "parallelFor is not reentrant");
         job_n_ = n;
-        job_ = &fn;
+        job_fn_ = fn;
+        job_ctx_ = ctx;
         pending_ = workers_ - 1;
         generation_++;
     }
@@ -47,11 +47,12 @@ ShardPool::parallelFor(size_t n,
 
     const auto [begin, end] = stripe(n, 0);
     if (begin < end)
-        fn(begin, end, 0);
+        fn(ctx, begin, end, 0);
 
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
-    job_ = nullptr;
+    job_fn_ = nullptr;
+    job_ctx_ = nullptr;
 }
 
 void
@@ -59,7 +60,8 @@ ShardPool::workerLoop(uint32_t w)
 {
     uint64_t seen = 0;
     for (;;) {
-        const std::function<void(size_t, size_t, uint32_t)> *job;
+        JobFn job;
+        void *ctx;
         size_t n;
         {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -68,12 +70,13 @@ ShardPool::workerLoop(uint32_t w)
             if (stop_)
                 return;
             seen = generation_;
-            job = job_;
+            job = job_fn_;
+            ctx = job_ctx_;
             n = job_n_;
         }
         const auto [begin, end] = stripe(n, w);
         if (begin < end)
-            (*job)(begin, end, w);
+            job(ctx, begin, end, w);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (--pending_ == 0)

@@ -28,15 +28,14 @@
  *     that replays the lookup cache exactly).
  */
 
-#ifndef LEAFTL_SIM_SHARD_RUNNER_HH
-#define LEAFTL_SIM_SHARD_RUNNER_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -73,9 +72,25 @@ class ShardPool
      * (n, workers()), so per-worker accumulators are deterministic
      * for any thread scheduling. Returns after all stripes complete
      * (the barrier).
+     *
+     * The callable is type-erased to a raw function pointer plus a
+     * context pointer (not std::function -- this header is on the
+     * replay hot path, and the lint hot-path-std-function rule keeps
+     * type-erased callables with their potential allocation out of
+     * it). @a fn must stay alive until parallelFor returns, which the
+     * barrier guarantees.
      */
-    void parallelFor(size_t n,
-                     const std::function<void(size_t, size_t, uint32_t)> &fn);
+    template <typename Fn>
+    void
+    parallelFor(size_t n, Fn &&fn)
+    {
+        runJob(n,
+               [](void *ctx, size_t begin, size_t end, uint32_t w) {
+                   (*static_cast<std::remove_reference_t<Fn> *>(ctx))(
+                       begin, end, w);
+               },
+               const_cast<void *>(static_cast<const void *>(&fn)));
+    }
 
     /** Stripe [begin, end) of worker @a w over @a n items. */
     std::pair<size_t, size_t>
@@ -88,6 +103,13 @@ class ShardPool
     }
 
   private:
+    /** Type-erased job: (context, begin, end, worker). */
+    using JobFn = void (*)(void *, size_t, size_t, uint32_t);
+
+    /** Dispatch one barrier-bracketed job window (the out-of-line
+     *  body of parallelFor). */
+    void runJob(size_t n, JobFn fn, void *ctx);
+
     void workerLoop(uint32_t w);
 
     const uint32_t workers_;
@@ -99,7 +121,8 @@ class ShardPool
     uint64_t generation_ = 0; ///< Bumped per parallelFor dispatch.
     uint32_t pending_ = 0;    ///< Spawned workers still in the window.
     size_t job_n_ = 0;
-    const std::function<void(size_t, size_t, uint32_t)> *job_ = nullptr;
+    JobFn job_fn_ = nullptr;  ///< Current window's job, + its context.
+    void *job_ctx_ = nullptr;
     bool stop_ = false;
 };
 
@@ -119,5 +142,3 @@ unsigned clampSweepJobs(unsigned jobs_requested, unsigned threads,
                         unsigned hw, std::string *warning);
 
 } // namespace leaftl
-
-#endif // LEAFTL_SIM_SHARD_RUNNER_HH

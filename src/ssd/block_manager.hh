@@ -5,8 +5,7 @@
  * victim selection (§3.6), and wear-leveling bookkeeping.
  */
 
-#ifndef LEAFTL_SSD_BLOCK_MANAGER_HH
-#define LEAFTL_SSD_BLOCK_MANAGER_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -106,5 +105,3 @@ class BlockManager
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_SSD_BLOCK_MANAGER_HH

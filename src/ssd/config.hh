@@ -6,8 +6,7 @@
  * down to simulation-friendly sizes; every bench sets its own values.
  */
 
-#ifndef LEAFTL_SSD_CONFIG_HH
-#define LEAFTL_SSD_CONFIG_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -89,5 +88,3 @@ struct SsdConfig
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_SSD_CONFIG_HH

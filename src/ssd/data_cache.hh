@@ -10,8 +10,7 @@
  * cache (§4.2).
  */
 
-#ifndef LEAFTL_SSD_DATA_CACHE_HH
-#define LEAFTL_SSD_DATA_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <list>
@@ -57,5 +56,3 @@ class DataCache
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_SSD_DATA_CACHE_HH

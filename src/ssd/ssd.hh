@@ -11,8 +11,7 @@
  * that hit the same channels.
  */
 
-#ifndef LEAFTL_SSD_SSD_HH
-#define LEAFTL_SSD_SSD_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -273,5 +272,3 @@ class Ssd : public FtlOps
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_SSD_SSD_HH

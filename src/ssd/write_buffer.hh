@@ -10,8 +10,7 @@
  * segments (Fig. 7).
  */
 
-#ifndef LEAFTL_SSD_WRITE_BUFFER_HH
-#define LEAFTL_SSD_WRITE_BUFFER_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_set>
@@ -65,5 +64,3 @@ class WriteBuffer
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_SSD_WRITE_BUFFER_HH

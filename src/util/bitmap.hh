@@ -5,8 +5,7 @@
  * temporary bitmaps before subtracting overlaps).
  */
 
-#ifndef LEAFTL_UTIL_BITMAP_HH
-#define LEAFTL_UTIL_BITMAP_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -45,5 +44,3 @@ class Bitmap
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_UTIL_BITMAP_HH

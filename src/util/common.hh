@@ -7,8 +7,7 @@
  * values; a page-level mapping entry is therefore 8 bytes.
  */
 
-#ifndef LEAFTL_UTIL_COMMON_HH
-#define LEAFTL_UTIL_COMMON_HH
+#pragma once
 
 #include <cstdint>
 #include <cstdio>
@@ -99,5 +98,3 @@ groupOffset(Lpa lpa)
 }
 
 } // namespace leaftl
-
-#endif // LEAFTL_UTIL_COMMON_HH

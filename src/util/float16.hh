@@ -9,8 +9,7 @@
  * tagged encoding, so the perturbation can never break the error bound.
  */
 
-#ifndef LEAFTL_UTIL_FLOAT16_HH
-#define LEAFTL_UTIL_FLOAT16_HH
+#pragma once
 
 #include <cstdint>
 #include <cstring>
@@ -78,5 +77,3 @@ float16Tag(uint16_t bits)
 }
 
 } // namespace leaftl
-
-#endif // LEAFTL_UTIL_FLOAT16_HH

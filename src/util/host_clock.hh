@@ -7,8 +7,7 @@
  * every bench and the sweep's wall_ns column agree on one clock.
  */
 
-#ifndef LEAFTL_UTIL_HOST_CLOCK_HH
-#define LEAFTL_UTIL_HOST_CLOCK_HH
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -46,5 +45,3 @@ class HostTimer
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_UTIL_HOST_CLOCK_HH

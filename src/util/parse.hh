@@ -7,8 +7,7 @@
  * file (and vice versa).
  */
 
-#ifndef LEAFTL_UTIL_PARSE_HH
-#define LEAFTL_UTIL_PARSE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -39,5 +38,3 @@ bool parseBool(const std::string &s, bool &out);
 std::vector<std::string> splitList(const std::string &s);
 
 } // namespace leaftl
-
-#endif // LEAFTL_UTIL_PARSE_HH

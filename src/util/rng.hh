@@ -8,8 +8,7 @@
  * are not portable across implementations).
  */
 
-#ifndef LEAFTL_UTIL_RNG_HH
-#define LEAFTL_UTIL_RNG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -39,5 +38,3 @@ class Rng
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_UTIL_RNG_HH

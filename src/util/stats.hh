@@ -5,8 +5,7 @@
  * (Figs. 18 and 23 in the paper).
  */
 
-#ifndef LEAFTL_UTIL_STATS_HH
-#define LEAFTL_UTIL_STATS_HH
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -180,5 +179,3 @@ class LatencyHistogram
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_UTIL_STATS_HH

@@ -11,8 +11,7 @@
  * for the substitution rationale.
  */
 
-#ifndef LEAFTL_WORKLOAD_APP_MODELS_HH
-#define LEAFTL_WORKLOAD_APP_MODELS_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -36,5 +35,3 @@ makeAppWorkload(const std::string &name, uint64_t working_set_pages,
                 uint64_t num_requests);
 
 } // namespace leaftl
-
-#endif // LEAFTL_WORKLOAD_APP_MODELS_HH

@@ -20,8 +20,7 @@
  * sequence, and reset() replays it from the start.
  */
 
-#ifndef LEAFTL_WORKLOAD_ARRIVAL_HH
-#define LEAFTL_WORKLOAD_ARRIVAL_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -193,5 +192,3 @@ shapeArrivals(std::unique_ptr<WorkloadSource> inner,
               const ShaperSpec &spec);
 
 } // namespace leaftl
-
-#endif // LEAFTL_WORKLOAD_ARRIVAL_HH

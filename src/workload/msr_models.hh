@@ -13,8 +13,7 @@
  * workload/trace.hh.
  */
 
-#ifndef LEAFTL_WORKLOAD_MSR_MODELS_HH
-#define LEAFTL_WORKLOAD_MSR_MODELS_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -44,5 +43,3 @@ makeMsrWorkload(const std::string &name, uint64_t working_set_pages,
                 uint64_t num_requests);
 
 } // namespace leaftl
-
-#endif // LEAFTL_WORKLOAD_MSR_MODELS_HH

@@ -4,8 +4,7 @@
  * every generator and trace parser implements.
  */
 
-#ifndef LEAFTL_WORKLOAD_REQUEST_HH
-#define LEAFTL_WORKLOAD_REQUEST_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -53,5 +52,3 @@ class WorkloadSource
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_WORKLOAD_REQUEST_HH

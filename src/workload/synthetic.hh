@@ -17,8 +17,7 @@
  * msr_models.cc and app_models.cc.
  */
 
-#ifndef LEAFTL_WORKLOAD_SYNTHETIC_HH
-#define LEAFTL_WORKLOAD_SYNTHETIC_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -104,5 +103,3 @@ class MixWorkload : public WorkloadSource
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_WORKLOAD_SYNTHETIC_HH

@@ -10,8 +10,7 @@
  * vector, which the tests use for deterministic scenarios.
  */
 
-#ifndef LEAFTL_WORKLOAD_TRACE_HH
-#define LEAFTL_WORKLOAD_TRACE_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -129,5 +128,3 @@ class TraceWorkload : public WorkloadSource
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_WORKLOAD_TRACE_HH

@@ -4,8 +4,7 @@
  * skewed hot sets in the synthetic MSR/FIU and application workloads.
  */
 
-#ifndef LEAFTL_WORKLOAD_ZIPF_HH
-#define LEAFTL_WORKLOAD_ZIPF_HH
+#pragma once
 
 #include <cstdint>
 
@@ -48,5 +47,3 @@ class ZipfGenerator
 };
 
 } // namespace leaftl
-
-#endif // LEAFTL_WORKLOAD_ZIPF_HH

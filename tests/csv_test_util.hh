@@ -6,8 +6,7 @@
  * copies that can drift from the CSV layout.
  */
 
-#ifndef LEAFTL_TESTS_CSV_TEST_UTIL_HH
-#define LEAFTL_TESTS_CSV_TEST_UTIL_HH
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -54,5 +53,3 @@ columnPrefix(const std::string &csv, int n)
 
 } // namespace test
 } // namespace leaftl
-
-#endif // LEAFTL_TESTS_CSV_TEST_UTIL_HH

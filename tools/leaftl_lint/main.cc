@@ -1,0 +1,130 @@
+/**
+ * @file
+ * leaftl_lint CLI. Exit codes follow the analyzer convention the CI
+ * jobs gate on: 0 = clean, 1 = findings, 2 = usage or I/O error.
+ *
+ *   leaftl_lint [--root DIR] [--format text|json] [--rule NAME]...
+ *               [--list-rules] [paths...]
+ *
+ * Paths (files or directories) are relative to --root (default: the
+ * current directory); with no paths the repo's default source set
+ * (src tools bench examples tests) is linted.
+ */
+
+#include "leaftl_lint/lint.hh"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+int
+usageError(const std::string &msg)
+{
+    std::cerr << "leaftl_lint: " << msg << "\n"
+              << "Usage: leaftl_lint [--root DIR] [--format text|json]\n"
+              << "                   [--rule NAME]... [--list-rules]\n"
+              << "                   [paths...]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace leaftl::lint;
+
+    std::string root = ".";
+    std::string format = "text";
+    std::vector<std::string> only_rules;
+    std::vector<std::string> paths;
+    bool list_rules = false;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                usageError(std::string(flag) + " needs a value");
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            const char *v = value("--root");
+            if (!v)
+                return 2;
+            root = v;
+        } else if (arg == "--format") {
+            const char *v = value("--format");
+            if (!v)
+                return 2;
+            format = v;
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+        } else if (arg == "--rule") {
+            const char *v = value("--rule");
+            if (!v)
+                return 2;
+            only_rules.push_back(v);
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usageError("");
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usageError("unknown option " + arg);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (format != "text" && format != "json")
+        return usageError("--format must be text or json");
+
+    if (list_rules) {
+        for (const RuleInfo &r : ruleCatalog())
+            std::printf("%-24s %-12s %s\n", r.name.c_str(),
+                        r.category.c_str(), r.description.c_str());
+        return 0;
+    }
+
+    for (const std::string &name : only_rules) {
+        bool known = false;
+        for (const RuleInfo &r : ruleCatalog())
+            known |= r.name == name;
+        if (!known)
+            return usageError("unknown rule '" + name +
+                              "' (see --list-rules)");
+    }
+
+    if (paths.empty())
+        paths = {"src", "tools", "bench", "examples", "tests"};
+
+    std::string err;
+    std::vector<std::string> files;
+    if (!collectSources(root, paths, files, err)) {
+        std::cerr << "leaftl_lint: " << err << "\n";
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    for (const std::string &rel : files) {
+        if (!lintFile(root, rel, findings, err, only_rules)) {
+            std::cerr << "leaftl_lint: " << err << "\n";
+            return 2;
+        }
+    }
+
+    if (format == "json") {
+        std::cout << renderJson(findings, files.size());
+    } else {
+        std::cout << renderText(findings);
+        if (!findings.empty())
+            std::cerr << "leaftl_lint: " << findings.size()
+                      << " finding(s) in " << files.size() << " file(s)\n";
+    }
+    return findings.empty() ? 0 : 1;
+}
