@@ -33,7 +33,7 @@ constexpr int kColThroughput = 7;
 constexpr int kColP99Read = 11;
 constexpr int kColAchievedIops = 25;
 constexpr int kColP99E2e = 28;
-constexpr int kColWallNs = 32;
+constexpr int kColWallNs = 36;
 
 std::vector<std::string>
 splitCsv(const std::string &line)
@@ -277,6 +277,7 @@ runCampaign(const config::CampaignSpec &campaign, std::ostream &log)
                 spec.prefill_frac * spec.working_set_pages);
             ropts.mixed_prefill = true;
             ropts.queue_depth = p.qd;
+            ropts.crash_points = spec.crash_points;
             if (spec.threads > 1) {
                 run_pool = std::make_unique<ShardPool>(spec.threads);
                 ssd.attachShardPool(run_pool.get());

@@ -196,6 +196,14 @@ usage()
         << "  --interarrival U override the mean request inter-arrival\n"
         << "                   gap in us (synthetic/model workloads)\n"
         << "  --seed N         workload RNG seed (default 42)\n"
+        << "  --snapshot-interval N  host writes (pages) between\n"
+        << "                   automatic mapping snapshots (default 0 =\n"
+        << "                   explicit persists only)\n"
+        << "  --journal-threshold B  learn-journal bytes that trigger an\n"
+        << "                   incremental snapshot (default 0 = legacy\n"
+        << "                   monolithic snapshot pipeline)\n"
+        << "  --crash-at LIST  comma list of request indices where the\n"
+        << "                   replay crashes and recovers the device\n"
         << "  --output PATH    write CSV to PATH instead of stdout\n"
         << "  --list           print known workloads and exit\n"
         << "  --help           this text\n";
@@ -268,6 +276,9 @@ parseArgs(int argc, const char *const *argv, SimOptions &opts,
         {"--read-ratio", "read-ratio"},
         {"--interarrival", "interarrival"},
         {"--seed", "seed"},
+        {"--snapshot-interval", "snapshot-interval"},
+        {"--journal-threshold", "journal-threshold"},
+        {"--crash-at", "crash-at"},
     };
 
     for (size_t i = 0; i < norm.size(); i++) {
@@ -486,6 +497,8 @@ makeConfig(FtlKind ftl, uint32_t gamma, const config::ExperimentSpec &opts,
     cfg.compaction_interval =
         preset ? std::max<uint64_t>(cfg.geometry.totalPages() / 512, 2048)
                : std::max<uint64_t>(opts.working_set_pages / 8, 2048);
+    cfg.snapshot_interval_writes = opts.snapshot_interval_writes;
+    cfg.journal_threshold_bytes = opts.journal_threshold_bytes;
     return cfg;
 }
 
@@ -497,7 +510,8 @@ csvHeader()
     // position). wall_ns is the host wall-clock time of the run -- the
     // only nondeterministic column, kept trailing so stripping it
     // recovers a reproducible row; the open-loop columns (mode through
-    // p99_write_e2e_us) sit between device and wall_ns.
+    // p99_write_e2e_us) and the recovery columns (recov_scanned_pages
+    // through recovery_ms) sit between device and wall_ns.
     return "ftl,workload,gamma,qd,requests,pages,sim_seconds,"
            "throughput_mbps,avg_lat_us,avg_read_lat_us,p50_read_lat_us,"
            "p99_read_lat_us,avg_write_lat_us,mapping_bytes,resident_bytes,"
@@ -505,7 +519,9 @@ csvHeader()
            "avg_queue_wait_us,mean_inflight,device,"
            "mode,rate_iops,offered_iops,achieved_iops,p50_lat_e2e_us,"
            "p95_lat_e2e_us,p99_lat_e2e_us,p999_lat_e2e_us,"
-           "p99_read_e2e_us,p99_write_e2e_us,wall_ns";
+           "p99_read_e2e_us,p99_write_e2e_us,recov_scanned_pages,"
+           "recov_journal_records,recov_applied_deltas,recovery_ms,"
+           "wall_ns";
 }
 
 std::string
@@ -539,7 +555,11 @@ csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
         << fmt(res.e2e_all.percentile(99.9) / 1000.0) << ','
         << fmt(res.e2e_read.percentile(99.0) / 1000.0) << ','
         << fmt(res.e2e_write.percentile(99.0) / 1000.0) << ','
-        << res.host_wall_ns;
+        << res.recovery.scanned_pages << ','
+        << res.recovery.replayed_journal_records << ','
+        << res.recovery.applied_deltas << ','
+        << fmt(static_cast<double>(res.recovery.recovery_time) / 1.0e6)
+        << ',' << res.host_wall_ns;
     return row.str();
 }
 
@@ -680,6 +700,7 @@ runSweep(const config::ExperimentSpec &opts, std::ostream &out)
                         opts.prefill_frac * opts.working_set_pages);
                     ropts.mixed_prefill = true;
                     ropts.queue_depth = t.qd;
+                    ropts.crash_points = opts.crash_points;
                     if (opts.threads > 1) {
                         run_pool =
                             std::make_unique<ShardPool>(opts.threads);

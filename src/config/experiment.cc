@@ -79,7 +79,8 @@ knownExperimentKeys()
             "trace-strict", "jobs",    "threads",    "quantum",
             "requests", "ws",
             "dram-mb", "dram-bytes",   "prefill",    "read-ratio",
-            "interarrival", "seed"};
+            "interarrival", "seed",
+            "snapshot-interval", "journal-threshold", "crash-at"};
 }
 
 std::string
@@ -313,6 +314,40 @@ applyExperimentKey(ExperimentSpec &spec, const std::string &raw_key,
             err = "bad seed '" + value + "'";
             return false;
         }
+        return true;
+    }
+    if (key == "snapshot-interval") {
+        if (!parseU64(value, spec.snapshot_interval_writes)) {
+            err = "bad snapshot-interval '" + value + "'";
+            return false;
+        }
+        return true;
+    }
+    if (key == "journal-threshold") {
+        uint64_t v;
+        if (!parseU64(value, v) || (v != 0 && v < 64)) {
+            err = "bad journal-threshold '" + value +
+                  "' (expected 0 or >= 64 bytes)";
+            return false;
+        }
+        spec.journal_threshold_bytes = v;
+        return true;
+    }
+    if (key == "crash-at") {
+        spec.crash_points.clear();
+        for (const auto &p : splitList(value)) {
+            uint64_t v;
+            if (!parseU64(p, v)) {
+                err = "bad crash-at '" + p + "'";
+                return false;
+            }
+            spec.crash_points.push_back(v);
+        }
+        if (spec.crash_points.empty()) {
+            err = "crash-at list is empty";
+            return false;
+        }
+        std::sort(spec.crash_points.begin(), spec.crash_points.end());
         return true;
     }
     err = "unknown key '" + raw_key + "' (did you mean '" +

@@ -108,6 +108,23 @@ struct ExperimentSpec
     /** Key "interarrival": mean gap override in us; <0 = default. */
     double interarrival_us = -1.0;
     uint64_t seed = 42;                       ///< Key "seed".
+
+    /**
+     * Key "snapshot-interval": host writes (pages) between automatic
+     * mapping snapshots; 0 = only explicit persists (historical).
+     */
+    uint64_t snapshot_interval_writes = 0;
+    /**
+     * Key "journal-threshold": learn-journal bytes that trigger an
+     * automatic incremental snapshot; 0 keeps the legacy monolithic
+     * snapshot pipeline.
+     */
+    uint64_t journal_threshold_bytes = 0;
+    /**
+     * Key "crash-at": request indices where the replay injects a
+     * crash + recovery (comma list; stored sorted ascending).
+     */
+    std::vector<uint64_t> crash_points;
 };
 
 /** Map "leaftl"/"dftl"/"sftl" to the FtlKind. @return false if unknown. */

@@ -44,6 +44,12 @@ ChannelTimer::earliestFree() const
     return *std::min_element(busy_.begin(), busy_.end());
 }
 
+Tick
+ChannelTimer::latestFree() const
+{
+    return *std::max_element(busy_.begin(), busy_.end());
+}
+
 void
 ChannelTimer::reset()
 {

@@ -66,6 +66,9 @@ class ChannelTimer
     /** Earliest time any channel is free (for back-pressure). */
     Tick earliestFree() const;
 
+    /** Time the last channel drains (a parallel phase's completion). */
+    Tick latestFree() const;
+
     void reset();
 
   private:

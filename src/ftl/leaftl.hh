@@ -65,6 +65,15 @@ class LeaFtl : public Ftl
     /** Replace the table from a persisted snapshot (crash recovery). */
     void restore(const std::vector<uint8_t> &blob);
 
+    /**
+     * Replace the table from a full snapshot plus an ordered chain of
+     * serializeDirty() delta records (incremental recovery, §3.8).
+     * Aborts on a corrupt delta -- the chain lives in the device's
+     * battery-backed snapshot area, not on scanned flash.
+     */
+    void restoreChain(const std::vector<uint8_t> &base,
+                      const std::vector<std::vector<uint8_t>> &deltas);
+
     uint32_t gamma() const { return table_->gamma(); }
 
   private:

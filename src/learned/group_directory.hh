@@ -77,6 +77,74 @@ class GroupDirectory
     size_t size() const { return live_groups_; }
 
     /**
+     * Mark a live group dirty (changed since the last snapshot).
+     * A no-op for indices that were never created: restoring a blob
+     * must not re-dirty groups the snapshot already covers.
+     */
+    void
+    markDirty(uint32_t idx)
+    {
+        const uint32_t ci = idx / kChunkGroups;
+        const uint32_t slot = idx % kChunkGroups;
+        if (ci >= chunks_.size() || !chunks_[ci])
+            return;
+        Chunk &chunk = *chunks_[ci];
+        if ((chunk.live >> slot) & 1)
+            chunk.dirty |= 1ull << slot;
+    }
+
+    /** Mark every live group dirty (whole-table mutations: compact). */
+    void
+    markAllDirty()
+    {
+        for (auto &chunk : chunks_) {
+            if (chunk)
+                chunk->dirty = chunk->live;
+        }
+    }
+
+    /** Forget all dirty marks (a snapshot/delta has been committed). */
+    void
+    clearDirty()
+    {
+        for (auto &chunk : chunks_) {
+            if (chunk)
+                chunk->dirty = 0;
+        }
+    }
+
+    /** Number of groups currently marked dirty. */
+    size_t
+    dirtyCount() const
+    {
+        size_t n = 0;
+        for (const auto &chunk : chunks_) {
+            if (chunk)
+                n += std::popcount(chunk->dirty);
+        }
+        return n;
+    }
+
+    /** Visit dirty groups in ascending index order: fn(idx, group). */
+    template <typename Fn>
+    void
+    forEachDirty(Fn &&fn) const
+    {
+        for (size_t ci = 0; ci < chunks_.size(); ci++) {
+            const Chunk *chunk = chunks_[ci].get();
+            if (!chunk)
+                continue;
+            uint64_t mask = chunk->dirty;
+            while (mask) {
+                const int slot = std::countr_zero(mask);
+                mask &= mask - 1;
+                fn(static_cast<uint32_t>(ci * kChunkGroups + slot),
+                   chunk->groups[slot]);
+            }
+        }
+    }
+
+    /**
      * Host memory of the directory structure itself: the pointer
      * table plus one materialized chunk (64 eagerly constructed Group
      * shells, dominated by their CRB owner arrays) per touched
@@ -113,7 +181,8 @@ class GroupDirectory
   private:
     struct Chunk
     {
-        uint64_t live = 0; ///< Bit per slot: group has been created.
+        uint64_t live = 0;  ///< Bit per slot: group has been created.
+        uint64_t dirty = 0; ///< Bit per slot: changed since snapshot.
         Group groups[kChunkGroups];
     };
 

@@ -1,5 +1,6 @@
 #include "learned/learned_table.hh"
 
+#include <bitset>
 #include <cstring>
 
 #include "sim/shard_runner.hh"
@@ -19,15 +20,49 @@ put(std::vector<uint8_t> &blob, T v)
     std::memcpy(blob.data() + at, &v, sizeof(T));
 }
 
-template <typename T>
-T
-get(const std::vector<uint8_t> &blob, size_t &at)
+/**
+ * Bounds-checked cursor over an untrusted blob: every read reports
+ * success instead of asserting, so corrupt input surfaces as a typed
+ * BlobError rather than UB or an abort.
+ */
+struct BlobReader
 {
-    LEAFTL_ASSERT(at + sizeof(T) <= blob.size(), "blob underrun");
-    T v;
-    std::memcpy(&v, blob.data() + at, sizeof(T));
-    at += sizeof(T);
-    return v;
+    const std::vector<uint8_t> &blob;
+    size_t at = 0;
+
+    template <typename T>
+    bool
+    read(T &v)
+    {
+        if (sizeof(T) > blob.size() - at)
+            return false;
+        std::memcpy(&v, blob.data() + at, sizeof(T));
+        at += sizeof(T);
+        return true;
+    }
+
+    size_t remaining() const { return blob.size() - at; }
+};
+
+/** Append one group in the canonical per-group wire format. */
+void
+appendGroup(std::vector<uint8_t> &blob, uint32_t idx, const Group &group)
+{
+    put<uint32_t>(blob, idx);
+    put<uint32_t>(blob, static_cast<uint32_t>(group.numSegments()));
+    group.forEachSegment([&](const SegEntry &e, size_t level) {
+        put<uint16_t>(blob, static_cast<uint16_t>(level));
+        put<uint8_t>(blob, e.seg.slpa());
+        put<uint8_t>(blob, e.seg.length());
+        put<uint16_t>(blob, e.seg.kbits());
+        put<int32_t>(blob, e.seg.intercept());
+        if (e.seg.approximate()) {
+            const auto &run = group.crb().run(e.id);
+            put<uint16_t>(blob, static_cast<uint16_t>(run.size()));
+            for (uint8_t off : run)
+                put<uint8_t>(blob, off);
+        }
+    });
 }
 
 } // namespace
@@ -48,6 +83,7 @@ LearnedTable::learn(const std::vector<std::pair<Lpa, Ppa>> &run)
         for (auto &[group_idx, segs] : fitted) {
             touched.push_back(group_idx);
             Group &group = groups_.getOrCreate(group_idx);
+            groups_.markDirty(group_idx);
             beginMutate(group);
             for (const FittedSegment &fs : segs) {
                 stats_.segments_created++;
@@ -75,6 +111,7 @@ LearnedTable::learn(const std::vector<std::pair<Lpa, Ppa>> &run)
     for (auto &[group_idx, segs] : fitted) {
         touched.push_back(group_idx);
         Group &group = groups_.getOrCreate(group_idx);
+        groups_.markDirty(group_idx);
         beginMutate(group);
         groups.push_back(&group);
     }
@@ -251,6 +288,9 @@ void
 LearnedTable::compact()
 {
     bumpEpoch();
+    // Compaction can restructure any group, so the next delta must
+    // carry all of them (cheap relative to the compaction itself).
+    groups_.markAllDirty();
     if (!pool_) {
         groups_.forEach([&](uint32_t, Group &group) {
             beginMutate(group);
@@ -308,56 +348,188 @@ LearnedTable::serialize() const
     put<uint32_t>(blob, gamma_);
     put<uint32_t>(blob, static_cast<uint32_t>(groups_.size()));
     groups_.forEach([&](uint32_t idx, const Group &group) {
-        put<uint32_t>(blob, idx);
-        put<uint32_t>(blob, static_cast<uint32_t>(group.numSegments()));
-        group.forEachSegment([&](const SegEntry &e, size_t level) {
-            put<uint16_t>(blob, static_cast<uint16_t>(level));
-            put<uint8_t>(blob, e.seg.slpa());
-            put<uint8_t>(blob, e.seg.length());
-            put<uint16_t>(blob, e.seg.kbits());
-            put<int32_t>(blob, e.seg.intercept());
-            if (e.seg.approximate()) {
-                const auto &run = group.crb().run(e.id);
-                put<uint16_t>(blob, static_cast<uint16_t>(run.size()));
-                for (uint8_t off : run)
-                    put<uint8_t>(blob, off);
-            }
-        });
+        appendGroup(blob, idx, group);
     });
     return blob;
+}
+
+std::vector<uint8_t>
+LearnedTable::serializeDirty() const
+{
+    std::vector<uint8_t> blob;
+    put<uint32_t>(blob, gamma_);
+    put<uint32_t>(blob, static_cast<uint32_t>(groups_.dirtyCount()));
+    groups_.forEachDirty([&](uint32_t idx, const Group &group) {
+        appendGroup(blob, idx, group);
+    });
+    return blob;
+}
+
+BlobError
+LearnedTable::restoreGroups(const std::vector<uint8_t> &blob, size_t at,
+                            bool replace)
+{
+    BlobReader r{blob, at};
+    uint32_t num_groups = 0;
+    if (!r.read(num_groups))
+        return BlobError::Truncated;
+    // A group costs at least its idx + count header.
+    if (num_groups > r.remaining() / (2 * sizeof(uint32_t)))
+        return BlobError::Truncated;
+    uint32_t prev_idx = 0;
+    for (uint32_t g = 0; g < num_groups; g++) {
+        uint32_t idx = 0, count = 0;
+        if (!r.read(idx) || !r.read(count))
+            return BlobError::Truncated;
+        if (g > 0 && idx <= prev_idx)
+            return BlobError::Malformed; // serialize() emits ascending.
+        prev_idx = idx;
+        // A segment costs at least its 10 fixed header bytes.
+        if (count > r.remaining() / 10)
+            return BlobError::Truncated;
+        Group &group = groups_.getOrCreate(idx);
+        beginMutate(group);
+        if (replace)
+            group = Group();
+        // Parse into the group, then re-add its totals whatever
+        // happened: the table stays consistent (whole groups from
+        // before or after the delta) even when the blob is bad.
+        BlobError err = BlobError::None;
+        size_t prev_level = 0;
+        uint32_t prev_end = 0;
+        // Offsets claimed by approximate segments' CRB runs: the
+        // restore path requires runs disjoint across the whole group.
+        std::bitset<kGroupSpan> claimed;
+        for (uint32_t i = 0; i < count; i++) {
+            uint16_t level = 0, kbits = 0;
+            uint8_t slpa = 0, length = 0;
+            int32_t intercept = 0;
+            if (!r.read(level) || !r.read(slpa) || !r.read(length) ||
+                !r.read(kbits) || !r.read(intercept)) {
+                err = BlobError::Truncated;
+                break;
+            }
+            // endOff() is uint8 arithmetic: a range past 255 wraps.
+            if (static_cast<uint32_t>(slpa) + length > 255) {
+                err = BlobError::Malformed;
+                break;
+            }
+            if (i > 0 && level < prev_level) {
+                err = BlobError::Malformed; // levels emit ascending
+                break;
+            }
+            // Within a level, segments are sorted and disjoint.
+            if (i > 0 && level == prev_level && slpa <= prev_end) {
+                err = BlobError::Malformed;
+                break;
+            }
+            Segment seg(slpa, length, kbits, intercept);
+            std::vector<uint8_t> run;
+            if (seg.approximate()) {
+                uint16_t len = 0;
+                if (!r.read(len)) {
+                    err = BlobError::Truncated;
+                    break;
+                }
+                if (len == 0 || len > kGroupSpan) {
+                    err = BlobError::Malformed;
+                    break;
+                }
+                if (len > r.remaining()) {
+                    err = BlobError::Truncated;
+                    break;
+                }
+                run.resize(len);
+                std::memcpy(run.data(), r.blob.data() + r.at, len);
+                r.at += len;
+                // The CRB-run invariants: members strictly ascending,
+                // inside the segment, and disjoint from every other
+                // run already restored into this group.
+                bool ok = run.front() >= slpa &&
+                          run.back() <=
+                              static_cast<uint32_t>(slpa) + length;
+                for (size_t m = 0; ok && m < run.size(); m++) {
+                    if (m > 0 && run[m] <= run[m - 1])
+                        ok = false;
+                    else if (claimed[run[m]])
+                        ok = false;
+                    else
+                        claimed[run[m]] = true;
+                }
+                if (!ok) {
+                    err = BlobError::Malformed;
+                    break;
+                }
+            }
+            group.restoreRaw(level, seg, run);
+            prev_level = level;
+            prev_end = seg.endOff();
+        }
+        endMutate(group);
+        if (err != BlobError::None)
+            return err;
+    }
+    if (r.remaining() != 0)
+        return BlobError::Malformed; // trailing bytes
+    return BlobError::None;
 }
 
 std::unique_ptr<LearnedTable>
 LearnedTable::deserialize(const std::vector<uint8_t> &blob)
 {
-    size_t at = 0;
-    const uint32_t gamma = get<uint32_t>(blob, at);
-    auto table = std::make_unique<LearnedTable>(gamma);
-    const uint32_t num_groups = get<uint32_t>(blob, at);
-    for (uint32_t g = 0; g < num_groups; g++) {
-        const uint32_t idx = get<uint32_t>(blob, at);
-        const uint32_t count = get<uint32_t>(blob, at);
-        Group &group = table->groups_.getOrCreate(idx);
-        table->beginMutate(group);
-        for (uint32_t i = 0; i < count; i++) {
-            const uint16_t level = get<uint16_t>(blob, at);
-            const uint8_t slpa = get<uint8_t>(blob, at);
-            const uint8_t length = get<uint8_t>(blob, at);
-            const uint16_t kbits = get<uint16_t>(blob, at);
-            const int32_t intercept = get<int32_t>(blob, at);
-            Segment seg(slpa, length, kbits, intercept);
-            std::vector<uint8_t> run;
-            if (seg.approximate()) {
-                const uint16_t len = get<uint16_t>(blob, at);
-                run.reserve(len);
-                for (uint16_t j = 0; j < len; j++)
-                    run.push_back(get<uint8_t>(blob, at));
-            }
-            group.restoreRaw(level, seg, run);
-        }
-        table->endMutate(group);
-    }
+    BlobError err = BlobError::None;
+    auto table = tryDeserialize(blob, &err);
+    LEAFTL_ASSERT(table != nullptr, "corrupt mapping blob");
     return table;
+}
+
+std::unique_ptr<LearnedTable>
+LearnedTable::tryDeserialize(const std::vector<uint8_t> &blob,
+                             BlobError *err)
+{
+    BlobError e = BlobError::None;
+    std::unique_ptr<LearnedTable> table;
+    BlobReader r{blob};
+    uint32_t gamma = 0;
+    if (!r.read(gamma)) {
+        e = BlobError::Truncated;
+    } else {
+        table = std::make_unique<LearnedTable>(gamma);
+        e = table->restoreGroups(blob, r.at, /*replace=*/false);
+        if (e != BlobError::None)
+            table.reset();
+    }
+    if (err)
+        *err = e;
+    return table;
+}
+
+bool
+LearnedTable::applyDelta(const std::vector<uint8_t> &blob, BlobError *err)
+{
+    BlobError e = BlobError::None;
+    BlobReader r{blob};
+    uint32_t gamma = 0;
+    if (!r.read(gamma))
+        e = BlobError::Truncated;
+    else if (gamma != gamma_)
+        e = BlobError::Malformed; // delta from a different table
+    else
+        e = restoreGroups(blob, r.at, /*replace=*/true);
+    // Group objects may have been replaced (even on a failed parse),
+    // so retire the lookup cache and outstanding hints unconditionally.
+    bumpEpoch();
+    cache_ = LookupCache();
+    if (err)
+        *err = e;
+    return e == BlobError::None;
+}
+
+void
+LearnedTable::advanceEpochBeyond(uint64_t floor)
+{
+    if (epoch_.load(std::memory_order_relaxed) <= floor)
+        epoch_.store(floor + 1, std::memory_order_relaxed);
 }
 
 void

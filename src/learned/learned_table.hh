@@ -46,6 +46,22 @@ namespace leaftl
 
 class ShardPool;
 
+/**
+ * Typed outcome of parsing a serialized table/delta blob. Persisted
+ * blobs live on flash, so readers must treat them as untrusted input:
+ * every read is bounds-checked and structural invariants (ascending
+ * group indices, sorted non-overlapping segments, CRB runs inside
+ * their segment's range) are validated instead of asserted.
+ */
+enum class BlobError
+{
+    None = 0,
+    /** The blob ends before a declared field/payload. */
+    Truncated,
+    /** A field decodes but violates a structural invariant. */
+    Malformed,
+};
+
 /** Result of a table lookup. */
 struct TableLookup
 {
@@ -210,14 +226,64 @@ class LearnedTable
      */
     std::vector<uint8_t> serialize() const;
 
-    /** Rebuild from a serialize() blob. */
+    /**
+     * Serialize only the groups marked dirty since the last
+     * clearDirty(), in the same per-group wire format as serialize().
+     * The result is a delta record: applyDelta() replaces each
+     * contained group wholesale on top of an older snapshot.
+     */
+    std::vector<uint8_t> serializeDirty() const;
+
+    /** Groups currently marked dirty (changed since last snapshot). */
+    size_t dirtyGroups() const { return groups_.dirtyCount(); }
+
+    /** Forget dirty marks; call at the snapshot/delta commit point. */
+    void clearDirty() { groups_.clearDirty(); }
+
+    /** Rebuild from a serialize() blob (aborts on a corrupt blob). */
     static std::unique_ptr<LearnedTable>
     deserialize(const std::vector<uint8_t> &blob);
+
+    /**
+     * Bounds-checked rebuild from an untrusted serialize() blob.
+     * Returns nullptr (and sets @a err when non-null) instead of
+     * invoking UB on truncated or corrupt input.
+     */
+    static std::unique_ptr<LearnedTable>
+    tryDeserialize(const std::vector<uint8_t> &blob,
+                   BlobError *err = nullptr);
+
+    /**
+     * Apply a serializeDirty() delta: every group present in the blob
+     * replaces the table's version of that group wholesale. Returns
+     * false (and sets @a err) on a corrupt blob; the table is left
+     * with whole groups from before or after the delta, never a
+     * half-parsed group.
+     */
+    bool applyDelta(const std::vector<uint8_t> &blob,
+                    BlobError *err = nullptr);
+
+    /**
+     * Ensure this table's epoch is strictly greater than @a floor.
+     * Used when a restored table replaces a live one: outstanding
+     * RawLookup hints stamped by the old table must mismatch against
+     * the replacement (their cached entry pointers died with it).
+     */
+    void advanceEpochBeyond(uint64_t floor);
 
     /** Validate invariants of every group and the totals (tests). */
     void checkInvariants() const;
 
   private:
+    /**
+     * Shared bounds-checked parser behind tryDeserialize/applyDelta:
+     * reads the group list starting at @a at; @a replace resets each
+     * named group before restoring (delta semantics) instead of
+     * requiring it to be new (full-snapshot semantics).
+     */
+    BlobError restoreGroups(const std::vector<uint8_t> &blob, size_t at,
+                            bool replace);
+
     /** Retire a group's contribution to the table totals. */
     void
     beginMutate(const Group &g)

@@ -136,6 +136,11 @@ struct RunResult
     double mispredict_ratio = 0.0;
     double avg_lookup_levels = 0.0;
 
+    /** Crash/recovery cycles the replay injected (RunOptions). */
+    uint64_t recoveries = 0;
+    /** Accumulated recovery statistics across those cycles. */
+    RecoveryStats recovery;
+
     SsdStats ssd; ///< Full counters for detailed reporting.
 };
 

@@ -119,10 +119,42 @@ Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
         }
     };
 
+    LearnedTable *table = ssd.ftl().learnedTable();
+
+    // Crash-injection schedule: before processing request i, if i
+    // matches the next crash point, retire everything inflight, crash
+    // and recover the device, and refresh the table pointer (the
+    // recovered device carries a new table; hints stamped by the old
+    // one retire by epoch mismatch, keeping threaded replay
+    // bit-identical to serial). The channel busy-until state carries
+    // the recovery work, so later requests queue behind it naturally.
+    size_t next_crash = 0;
+    auto maybeCrash = [&]() {
+        while (next_crash < opts.crash_points.size() &&
+               res.requests == opts.crash_points[next_crash]) {
+            next_crash++;
+            while (!inflight.empty())
+                retireOne();
+            const RecoveryStats r = ssd.crashAndRecover(clock);
+            res.recoveries++;
+            res.recovery.scanned_blocks += r.scanned_blocks;
+            res.recovery.scanned_pages += r.scanned_pages;
+            res.recovery.relearned_mappings += r.relearned_mappings;
+            res.recovery.applied_deltas += r.applied_deltas;
+            res.recovery.replayed_journal_records +=
+                r.replayed_journal_records;
+            res.recovery.replayed_journal_bytes +=
+                r.replayed_journal_bytes;
+            res.recovery.recovery_time += r.recovery_time;
+            table = ssd.ftl().learnedTable();
+        }
+    };
+
     // Process one request (arrival already shifted): this is the
     // serial replay body, shared verbatim by the legacy loop and the
     // windowed pipeline below -- the pipeline only supplies @a hints.
     auto processRequest = [&](IoRequest &req, const RawLookup *hints) {
+        maybeCrash();
         // The request becomes submittable once it has arrived and its
         // predecessor has been submitted (in-order submission queue).
         const Tick ready = std::max(req.arrival, last_submit);
@@ -164,7 +196,6 @@ Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
         res.requests++;
     };
 
-    LearnedTable *table = ssd.ftl().learnedTable();
     const bool pipelined =
         opts.pool && opts.pool->workers() > 1 && table != nullptr;
     if (!pipelined) {

@@ -96,6 +96,14 @@ struct RunOptions
      * it only trades batching efficiency against probe staleness.
      */
     uint32_t barrier_quantum = 0;
+    /**
+     * Crash-injection schedule (sorted ascending): before processing
+     * request i, if i matches the next entry, the replay retires all
+     * inflight requests, crashes and recovers the device, and
+     * continues. Recovery stats accumulate into RunResult::recovery.
+     * Duplicated entries crash repeatedly at the same point.
+     */
+    std::vector<uint64_t> crash_points;
 };
 
 /** The replay driver. */

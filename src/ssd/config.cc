@@ -42,6 +42,9 @@ SsdConfig::validate() const
                   "config: DRAM budget unrealistically small");
     LEAFTL_ASSERT(compaction_interval > 0,
                   "config: compaction interval must be positive");
+    LEAFTL_ASSERT(journal_threshold_bytes == 0 ||
+                      journal_threshold_bytes >= 64,
+                  "config: journal threshold below one record");
 }
 
 } // namespace leaftl

@@ -1,0 +1,204 @@
+#include "ssd/journal.hh"
+
+#include <cstring>
+
+namespace leaftl
+{
+
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t
+fnv1a(const uint8_t *data, size_t n, uint64_t h = kFnvOffset)
+{
+    for (size_t i = 0; i < n; i++) {
+        h ^= data[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+template <typename T>
+void
+put(std::vector<uint8_t> &blob, T v)
+{
+    const size_t at = blob.size();
+    blob.resize(at + sizeof(T));
+    std::memcpy(blob.data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+bool
+take(const std::vector<uint8_t> &blob, size_t &at, T &v)
+{
+    if (sizeof(T) > blob.size() - at)
+        return false;
+    std::memcpy(&v, blob.data() + at, sizeof(T));
+    at += sizeof(T);
+    return true;
+}
+
+/**
+ * Encode one record onto @a log. The checksum covers the header
+ * fields and the payload, with the checksum field itself zeroed --
+ * computed in a second pass once the payload is in place.
+ */
+size_t
+appendRecord(std::vector<uint8_t> &log, JournalRecord::Type type,
+             uint64_t seq, uint32_t coverage,
+             const std::vector<std::pair<Lpa, Ppa>> *run, Lpa trim_lpa)
+{
+    const size_t start = log.size();
+    put<uint8_t>(log, static_cast<uint8_t>(type));
+    put<uint64_t>(log, seq);
+    put<uint32_t>(log, coverage);
+    const uint32_t payload_len =
+        run ? static_cast<uint32_t>(run->size() * 2 * sizeof(uint32_t))
+            : static_cast<uint32_t>(sizeof(Lpa));
+    put<uint32_t>(log, payload_len);
+    const size_t cksum_at = log.size();
+    put<uint64_t>(log, 0); // checksum placeholder
+    if (run) {
+        for (const auto &[lpa, ppa] : *run) {
+            put<uint32_t>(log, lpa);
+            put<uint32_t>(log, ppa);
+        }
+    } else {
+        put<uint32_t>(log, trim_lpa);
+    }
+    uint64_t h = fnv1a(log.data() + start, cksum_at - start);
+    h = fnv1a(log.data() + cksum_at + sizeof(uint64_t), payload_len, h);
+    std::memcpy(log.data() + cksum_at, &h, sizeof(h));
+    return log.size() - start;
+}
+
+} // namespace
+
+size_t
+MappingJournal::appendLearn(uint64_t seq, uint32_t coverage,
+                            const std::vector<std::pair<Lpa, Ppa>> &run)
+{
+    last_record_at_ = log_.size();
+    records_++;
+    return appendRecord(log_, JournalRecord::Type::Learn, seq, coverage,
+                        &run, kInvalidLpa);
+}
+
+size_t
+MappingJournal::appendTrim(uint64_t seq, uint32_t coverage, Lpa lpa)
+{
+    last_record_at_ = log_.size();
+    records_++;
+    return appendRecord(log_, JournalRecord::Type::Trim, seq, coverage,
+                        nullptr, lpa);
+}
+
+void
+MappingJournal::tearLastRecord(uint32_t keep_pct)
+{
+    if (records_ == 0)
+        return;
+    const size_t len = log_.size() - last_record_at_;
+    const size_t keep = len * (keep_pct % 100) / 100;
+    log_.resize(last_record_at_ + keep);
+    records_--;
+}
+
+void
+MappingJournal::truncateTo(size_t bytes)
+{
+    if (bytes < log_.size()) {
+        log_.resize(bytes);
+        // Record count is only advisory after a truncation; recount
+        // lazily via a reader if ever needed. Keep it conservative.
+        if (last_record_at_ >= bytes)
+            last_record_at_ = bytes;
+    }
+}
+
+void
+MappingJournal::clear()
+{
+    log_.clear();
+    records_ = 0;
+    last_record_at_ = 0;
+}
+
+bool
+JournalReader::next(JournalRecord &rec)
+{
+    if (corrupt_ || at_ >= log_.size())
+        return false;
+    size_t at = at_;
+    uint8_t type = 0;
+    uint64_t seq = 0, cksum = 0;
+    uint32_t coverage = 0, payload_len = 0;
+    if (!take(log_, at, type) || !take(log_, at, seq) ||
+        !take(log_, at, coverage) || !take(log_, at, payload_len) ||
+        !take(log_, at, cksum)) {
+        corrupt_ = true; // torn header
+        return false;
+    }
+    if (payload_len > log_.size() - at) {
+        corrupt_ = true; // torn payload
+        return false;
+    }
+    // Recompute the checksum with the checksum field zeroed.
+    const size_t start = at_;
+    const size_t cksum_at = at - sizeof(uint64_t);
+    uint64_t h = fnv1a(log_.data() + start, cksum_at - start);
+    h = fnv1a(log_.data() + at, payload_len, h);
+    if (h != cksum) {
+        corrupt_ = true;
+        return false;
+    }
+    if (have_seq_ && seq <= last_seq_) {
+        corrupt_ = true; // sequence must be strictly monotone
+        return false;
+    }
+    rec.seq = seq;
+    rec.coverage = coverage;
+    rec.mappings.clear();
+    rec.trim_lpa = kInvalidLpa;
+    if (type == static_cast<uint8_t>(JournalRecord::Type::Learn)) {
+        if (payload_len % (2 * sizeof(uint32_t)) != 0) {
+            corrupt_ = true;
+            return false;
+        }
+        rec.type = JournalRecord::Type::Learn;
+        const size_t n = payload_len / (2 * sizeof(uint32_t));
+        rec.mappings.reserve(n);
+        Lpa prev = 0;
+        for (size_t i = 0; i < n; i++) {
+            uint32_t lpa = 0, ppa = 0;
+            take(log_, at, lpa);
+            take(log_, at, ppa);
+            if (i > 0 && lpa <= prev) {
+                corrupt_ = true; // learn runs are strictly increasing
+                return false;
+            }
+            prev = lpa;
+            rec.mappings.emplace_back(lpa, ppa);
+        }
+    } else if (type == static_cast<uint8_t>(JournalRecord::Type::Trim)) {
+        if (payload_len != sizeof(Lpa)) {
+            corrupt_ = true;
+            return false;
+        }
+        rec.type = JournalRecord::Type::Trim;
+        take(log_, at, rec.trim_lpa);
+    } else {
+        corrupt_ = true; // unknown record type
+        return false;
+    }
+    last_seq_ = seq;
+    have_seq_ = true;
+    at_ = at;
+    valid_bytes_ = at;
+    return true;
+}
+
+} // namespace leaftl

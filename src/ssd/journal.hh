@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The learn journal: a bounded append-only log of mapping mutations
+ * (segment-learn batches and trims) issued since the last mapping
+ * snapshot (§3.8, made incremental). Together with the snapshot/delta
+ * chain it turns recovery from "rescan every block written since the
+ * snapshot" into "load snapshot + apply deltas + replay journal +
+ * OOB-scan only the unjournaled tail", which bounds recovery work by
+ * the journal threshold instead of device fullness.
+ *
+ * Wire format (little-endian, one record):
+ *
+ *     u8  type        1 = learn batch, 2 = trim
+ *     u64 seq         device-wide monotone sequence number
+ *     u32 coverage    blocks-since-snapshot list length at append time
+ *                     (recovery skips OOB-scanning the covered prefix)
+ *     u32 payload_len payload bytes
+ *     u64 checksum    FNV-1a over everything above plus the payload
+ *     ..  payload     learn: payload_len/8 x (u32 lpa, u32 ppa)
+ *                     trim:  u32 lpa
+ *
+ * The reader stops at the first record that fails its checksum,
+ * length, or sequence check: a torn tail (crash mid-append) silently
+ * truncates the log to its last complete record, exactly the WAL
+ * discipline the crash-point fuzzer exercises.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace leaftl
+{
+
+/** One decoded journal record. */
+struct JournalRecord
+{
+    enum class Type : uint8_t { Learn = 1, Trim = 2 };
+
+    Type type = Type::Learn;
+    uint64_t seq = 0;
+    /** Blocks-since-snapshot prefix this record's state covers. */
+    uint32_t coverage = 0;
+    /** Learn payload: strictly-increasing LPAs with their new PPAs. */
+    std::vector<std::pair<Lpa, Ppa>> mappings;
+    /** Trim payload. */
+    Lpa trim_lpa = kInvalidLpa;
+};
+
+/** Append-only image of the on-flash learn journal. */
+class MappingJournal
+{
+  public:
+    /** Fixed bytes before a record's payload. */
+    static constexpr size_t kHeaderBytes =
+        sizeof(uint8_t) + sizeof(uint64_t) + 2 * sizeof(uint32_t) +
+        sizeof(uint64_t);
+
+    /** Append a learn batch; returns the encoded record size. */
+    size_t appendLearn(uint64_t seq, uint32_t coverage,
+                       const std::vector<std::pair<Lpa, Ppa>> &run);
+
+    /** Append a trim; returns the encoded record size. */
+    size_t appendTrim(uint64_t seq, uint32_t coverage, Lpa lpa);
+
+    /**
+     * Crash injection: tear the most recent record, keeping only
+     * @a keep_pct percent of its bytes (a power loss mid-append).
+     */
+    void tearLastRecord(uint32_t keep_pct);
+
+    /** Drop everything past @a bytes (recovery discards a bad tail). */
+    void truncateTo(size_t bytes);
+
+    size_t sizeBytes() const { return log_.size(); }
+    uint64_t records() const { return records_; }
+    void clear();
+
+    const std::vector<uint8_t> &log() const { return log_; }
+
+  private:
+    std::vector<uint8_t> log_;
+    uint64_t records_ = 0;
+    size_t last_record_at_ = 0; ///< Offset of the newest record.
+};
+
+/**
+ * Sequential validating reader over a journal image. Cursor-based (no
+ * callbacks): call next() until it returns false, then validBytes()
+ * tells how much of the log parsed cleanly and sawCorruption()
+ * whether the stop was a torn/corrupt tail rather than a clean end.
+ */
+class JournalReader
+{
+  public:
+    explicit JournalReader(const std::vector<uint8_t> &log) : log_(log) {}
+
+    /** Decode the next record; false at end or first corruption. */
+    bool next(JournalRecord &rec);
+
+    /** Bytes consumed by successfully validated records. */
+    size_t validBytes() const { return valid_bytes_; }
+
+    /** The reader stopped on a bad record, not a clean end. */
+    bool sawCorruption() const { return corrupt_; }
+
+  private:
+    const std::vector<uint8_t> &log_;
+    size_t at_ = 0;
+    size_t valid_bytes_ = 0;
+    uint64_t last_seq_ = 0;
+    bool have_seq_ = false;
+    bool corrupt_ = false;
+};
+
+} // namespace leaftl

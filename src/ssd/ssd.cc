@@ -178,11 +178,12 @@ Ssd::read(Lpa lpa, Tick now, const RawLookup *hint)
 
     if (got != lpa || !blocks_.isValid(tr.ppa)) {
         if (!tr.approximate) {
-            // An exact translation landing on an invalidated page that
-            // still carries this LPA is a stale post-crash mapping of
-            // a trimmed page; anything else is a simulator bug.
-            LEAFTL_ASSERT(got == lpa && !blocks_.isValid(tr.ppa),
-                          "exact translation returned a wrong page");
+            // A stale post-crash exact mapping: the page was trimmed
+            // (still carries this LPA, invalidated) or its block has
+            // since been erased and reused by GC (the OOB disagrees).
+            // Either way a live copy cannot exist — any rewrite would
+            // have refreshed the mapping — so the read is served as
+            // unresolved without a search.
             stats_.unresolved_reads++;
             const Tick lat = cur_time_ - now;
             stats_.read_latency.add(static_cast<double>(lat));
@@ -272,9 +273,22 @@ Ssd::trim(Lpa lpa, Tick now)
         Ppa old = tr.approximate
                       ? resolveExact(lpa, tr.ppa, /*already_read=*/false)
                       : tr.ppa;
-        if (old != kInvalidPpa && blocks_.isValid(old))
+        // As in invalidateOldLocations: a stale post-crash exact
+        // mapping may point at a block GC has reused for another LPA,
+        // so only invalidate pages whose OOB confirms ownership.
+        if (old != kInvalidPpa && blocks_.isValid(old) &&
+            flash_.peekLpa(old) == lpa)
             blocks_.invalidate(old);
         ftl_->trim(lpa);
+        // A trim mutates the mapping without programming any page, so
+        // only the journal can make it survive a crash before the
+        // next snapshot. Trim storms must not outgrow the journal
+        // threshold either (flushes check at their end; a trim-only
+        // window would otherwise be unbounded).
+        journalTrim(lpa);
+        if (!in_recovery_ && journalingEnabled() &&
+            journal_.sizeBytes() >= cfg_.journal_threshold_bytes)
+            persistMappingInternal();
     }
 
     cur_time_ = ack;
@@ -374,8 +388,14 @@ Ssd::invalidateOldLocations(const std::vector<Lpa> &lpas)
         Ppa old = tr.approximate
                       ? resolveExact(lpa, tr.ppa, /*already_read=*/false)
                       : tr.ppa;
-        if (old != kInvalidPpa && !blocks_.isValid(old))
-            old = kInvalidPpa; // Stale post-crash mapping (trimmed).
+        // A stale post-crash mapping can point at a trimmed (invalid)
+        // page, or — once GC erases and reuses the block — at another
+        // LPA's live copy. Verify the OOB before invalidating; the
+        // check never fires outside crash recovery, where exact
+        // mappings are correct by construction.
+        if (old != kInvalidPpa &&
+            (!blocks_.isValid(old) || flash_.peekLpa(old) != lpa))
+            old = kInvalidPpa;
         if (old != kInvalidPpa)
             blocks_.invalidate(old);
     }
@@ -399,7 +419,11 @@ Ssd::flushBuffer(Tick)
 
     const auto &run = programBatch(lpas, cur_time_, WriteKind::Host);
     recordHostMappings(run);
+    crashPoint(CrashSite::FlushAfterProgram);
+    journalLearn(run);
+    crashPoint(CrashSite::FlushAfterJournal);
 
+    host_writes_since_snapshot_ += lpas.size();
     writes_since_compaction_ += lpas.size();
     if (writes_since_compaction_ >= cfg_.compaction_interval) {
         writes_since_compaction_ = 0;
@@ -413,6 +437,18 @@ Ssd::flushBuffer(Tick)
     if (flushes_since_wear_check_ >= 64) {
         flushes_since_wear_check_ = 0;
         maybeWearLevel(cur_time_);
+    }
+
+    // Automatic snapshotting: the journal growing past its threshold
+    // (bounds recovery replay volume) or the configured host-write
+    // interval. Both run in the background like the flush itself.
+    if (!in_recovery_) {
+        if (journalingEnabled() &&
+            journal_.sizeBytes() >= cfg_.journal_threshold_bytes)
+            persistMappingInternal();
+        else if (cfg_.snapshot_interval_writes > 0 &&
+                 host_writes_since_snapshot_ >= cfg_.snapshot_interval_writes)
+            persistMappingInternal();
     }
 
     cur_time_ = host_cursor;
@@ -429,6 +465,8 @@ Ssd::drainBuffer(Tick now)
         invalidateOldLocations(lpas);
         const auto &run = programBatch(lpas, cur_time_, WriteKind::Host);
         recordHostMappings(run);
+        journalLearn(run);
+        host_writes_since_snapshot_ += lpas.size();
         updateDramSplit();
         maybeGc(cur_time_);
     }
@@ -453,7 +491,7 @@ Ssd::doGcPass(Tick now)
     // least one free block after rewriting their survivors.
     std::vector<uint32_t> victims;
     uint64_t survivors = 0;
-    while (victims.size() < 64) {
+    while (victims.size() < kMaxGcVictims) {
         const uint64_t dest_blocks = ceilDiv(survivors, ppb);
         if (!victims.empty() && victims.size() > dest_blocks)
             break; // Net gain >= 1 guaranteed.
@@ -495,6 +533,8 @@ Ssd::doGcPass(Tick now)
     if (!lpas.empty()) {
         const auto &run = programBatch(lpas, now, WriteKind::Gc);
         ftl_->recordMappingsGc(run);
+        crashPoint(CrashSite::GcAfterProgram);
+        journalLearn(run);
     }
 
     for (uint32_t victim : victims) {
@@ -504,6 +544,7 @@ Ssd::doGcPass(Tick now)
         blocks_.releaseBlock(victim);
         stats_.gc_erases++;
     }
+    crashPoint(CrashSite::GcAfterErase);
     updateDramSplit();
     return true;
 }
@@ -538,6 +579,7 @@ Ssd::migrateBlock(uint32_t victim, Tick now, bool wear)
         const auto &run = programBatch(lpas, now,
                                 wear ? WriteKind::Wear : WriteKind::Gc);
         ftl_->recordMappingsGc(run);
+        journalLearn(run);
     }
 
     channels_.occupy(flash_.geometry().channelOfBlock(victim), now,
@@ -576,15 +618,142 @@ Ssd::updateDramSplit()
     cache_.setCapacity(std::max<uint64_t>(pages, 16));
 }
 
+bool
+Ssd::journalingEnabled() const
+{
+    return cfg_.journal_threshold_bytes > 0 &&
+           ftl_->learnedTable() != nullptr;
+}
+
+void
+Ssd::crashPoint(CrashSite site)
+{
+    if (!crash_armed_ || in_recovery_)
+        return;
+    if (crash_site_ != site && crash_site_ != CrashSite::Any)
+        return;
+    if (--crash_countdown_ > 0)
+        return;
+    crash_armed_ = false;
+    throw CrashException{site};
+}
+
+bool
+Ssd::tornCrashTriggered()
+{
+    if (!crash_armed_ || in_recovery_ ||
+        crash_site_ != CrashSite::JournalTornAppend)
+        return false;
+    if (--crash_countdown_ > 0)
+        return false;
+    crash_armed_ = false;
+    return true;
+}
+
+void
+Ssd::chargeJournalBytes(size_t n)
+{
+    // Journal appends share translation pages; charge one flash write
+    // per page boundary crossed (the partial tail page is charged when
+    // the snapshot retires the journal).
+    journal_page_fill_ += n;
+    while (journal_page_fill_ >= cfg_.geometry.page_size) {
+        journal_page_fill_ -= cfg_.geometry.page_size;
+        chargeTransWrite();
+    }
+}
+
+void
+Ssd::journalLearn(const std::vector<std::pair<Lpa, Ppa>> &run)
+{
+    if (!journalingEnabled() || in_recovery_ || run.empty())
+        return;
+    // Replay feeds recordMappingsGc, which needs a strictly increasing
+    // run; programmed batches are LPA-unique but FIFO flushes arrive
+    // unsorted.
+    std::vector<std::pair<Lpa, Ppa>> sorted(run);
+    std::sort(sorted.begin(), sorted.end());
+    const uint32_t coverage =
+        static_cast<uint32_t>(blocks_since_persist_.size());
+    if (tornCrashTriggered()) {
+        journal_.appendLearn(journal_seq_++, coverage, sorted);
+        journal_.tearLastRecord(torn_keep_pct_);
+        throw CrashException{CrashSite::JournalTornAppend};
+    }
+    chargeJournalBytes(journal_.appendLearn(journal_seq_++, coverage, sorted));
+}
+
+void
+Ssd::journalTrim(Lpa lpa)
+{
+    if (!journalingEnabled() || in_recovery_)
+        return;
+    const uint32_t coverage =
+        static_cast<uint32_t>(blocks_since_persist_.size());
+    if (tornCrashTriggered()) {
+        journal_.appendTrim(journal_seq_++, coverage, lpa);
+        journal_.tearLastRecord(torn_keep_pct_);
+        throw CrashException{CrashSite::JournalTornAppend};
+    }
+    chargeJournalBytes(journal_.appendTrim(journal_seq_++, coverage, lpa));
+}
+
 void
 Ssd::persistMapping(Tick now)
 {
     cur_time_ = now;
+    persistMappingInternal();
+}
+
+void
+Ssd::persistMappingInternal()
+{
     auto *lea = dynamic_cast<LeaFtl *>(ftl_.get());
     if (!lea)
         return; // DFTL/SFTL translation pages already live on flash.
-    persisted_table_ = lea->persist();
+    LearnedTable *table = lea->learnedTable();
+
+    if (!journalingEnabled()) {
+        // Legacy monolithic snapshot (bit-identical to the historical
+        // behavior when journaling is off).
+        crashPoint(CrashSite::SnapshotBeforeCommit);
+        persisted_table_ = lea->persist();
+        persisted_deltas_.clear();
+        persisted_delta_bytes_ = 0;
+        table->clearDirty();
+        blocks_since_persist_.clear();
+        host_writes_since_snapshot_ = 0;
+        return;
+    }
+
+    // Incremental: emit only the groups dirtied since the last
+    // snapshot as a delta chained to the last full blob; fold the
+    // chain back into a full snapshot once the deltas outgrow it.
+    const bool full = persisted_table_.empty() ||
+                      persisted_delta_bytes_ >= persisted_table_.size();
+    std::vector<uint8_t> blob =
+        full ? table->serialize() : table->serializeDirty();
+    // The crash window: snapshot built, nothing committed yet.
+    crashPoint(CrashSite::SnapshotBeforeCommit);
+    const uint64_t pages = ceilDiv(blob.size(), cfg_.geometry.page_size);
+    for (uint64_t i = 0; i < pages; i++)
+        chargeTransWrite();
+    if (full) {
+        persisted_table_ = std::move(blob);
+        persisted_deltas_.clear();
+        persisted_delta_bytes_ = 0;
+    } else {
+        persisted_delta_bytes_ += blob.size();
+        persisted_deltas_.push_back(std::move(blob));
+    }
+    table->clearDirty();
+    if (journal_page_fill_ > 0) {
+        chargeTransWrite(); // Flush the journal's partial tail page.
+        journal_page_fill_ = 0;
+    }
+    journal_.clear();
     blocks_since_persist_.clear();
+    host_writes_since_snapshot_ = 0;
 }
 
 RecoveryStats
@@ -595,25 +764,82 @@ Ssd::crashAndRecover(Tick now)
     if (!lea)
         return rec;
 
-    // Volatile state vanishes. (The write buffer is battery-backed in
-    // the paper's model; callers drain it before crashing to model the
-    // battery flush.)
-    LEAFTL_ASSERT(buffer_.empty(),
-                  "crash with non-empty buffer: drain first (battery model)");
+    // Recovery itself can no longer crash-inject.
+    disarmCrash();
+
+    // The write buffer is battery-backed (§2): power loss flushes it
+    // with the still-live pre-crash mapping state. The drained blocks
+    // land after the journal's coverage and are picked up by the tail
+    // scan, so the drain must not append journal records (the tail
+    // may already be torn).
+    in_recovery_ = true;
+    drainBuffer(now);
+    in_recovery_ = false;
+
     cache_.setCapacity(0);
-
-    if (!persisted_table_.empty())
-        lea->restore(persisted_table_);
-    else
-        lea->restore(LearnedTable(cfg_.gamma).serialize());
-
-    // Scan blocks allocated since the snapshot (channel-parallel) and
-    // relearn their mappings in allocation order so newer segments
-    // land above older ones, as the original inserts did (§3.8).
-    Tick scan_now = now;
     cur_time_ = now;
-    std::vector<uint32_t> to_scan = blocks_since_persist_;
-    for (uint32_t block : to_scan) {
+
+    // Recovery starts once the device restarts: after the battery
+    // drain and whatever background backlog the crash interrupted.
+    // Every recovery charge is scheduled from here so recovery_time
+    // measures the restart alone.
+    const Tick t0 = std::max(now, channels_.latestFree());
+
+    // The snapshot area and the journal are striped across channels
+    // like the data blocks, so loading them is channel-parallel — the
+    // same model §5 uses for the scan itself.
+    auto chargeLoadPages = [&](uint64_t bytes) {
+        const uint64_t pages = ceilDiv(bytes, cfg_.geometry.page_size);
+        for (uint64_t i = 0; i < pages; i++) {
+            stats_.trans_reads++;
+            trans_channel_rr_ =
+                (trans_channel_rr_ + 1) % cfg_.geometry.num_channels;
+            channels_.occupy(trans_channel_rr_, t0,
+                             cfg_.latency.flash_read);
+        }
+    };
+
+    // 1. Load the last full snapshot plus its chained deltas.
+    if (!persisted_table_.empty())
+        lea->restoreChain(persisted_table_, persisted_deltas_);
+    else
+        lea->restoreChain(LearnedTable(cfg_.gamma).serialize(), {});
+    rec.applied_deltas = persisted_deltas_.size();
+    if (journalingEnabled()) {
+        // Charge the snapshot-area reads (legacy mode keeps its
+        // historical free-snapshot-load model).
+        chargeLoadPages(snapshotBytes());
+    }
+
+    // 2. Replay the learn journal in order: learn batches and trims,
+    // torn/corrupt tail dropped at the first bad checksum. Records
+    // carry the blocks-since-snapshot coverage at append time, so the
+    // OOB scan below only visits the uncovered tail.
+    uint32_t max_cov = 0;
+    {
+        JournalReader reader(journal_.log());
+        JournalRecord jrec;
+        while (reader.next(jrec)) {
+            rec.replayed_journal_records++;
+            max_cov = std::max(max_cov, jrec.coverage);
+            if (jrec.type == JournalRecord::Type::Learn)
+                lea->recordMappingsGc(jrec.mappings);
+            else
+                lea->trim(jrec.trim_lpa);
+        }
+        rec.replayed_journal_bytes = reader.validBytes();
+        chargeLoadPages(reader.validBytes());
+        journal_.truncateTo(reader.validBytes());
+    }
+
+    // 3. Scan only the unjournaled tail of the blocks allocated since
+    // the snapshot (channel-parallel) and relearn their mappings in
+    // allocation order so newer segments land above older ones, as
+    // the original inserts did (§3.8). With journaling off max_cov is
+    // zero and this is the historical full rescan.
+    const Tick scan_now = t0;
+    for (size_t bi = max_cov; bi < blocks_since_persist_.size(); bi++) {
+        const uint32_t block = blocks_since_persist_[bi];
         rec.scanned_blocks++;
         std::vector<std::pair<Lpa, Ppa>> run;
         const Ppa first = cfg_.geometry.firstPpa(block);
@@ -634,8 +860,20 @@ Ssd::crashAndRecover(Tick now)
             lea->recordMappingsGc(run);
     }
 
-    rec.recovery_time = channels_.earliestFree() > now
-                            ? channels_.earliestFree() - now
+    // 4. Checkpoint the recovered state (incremental pipeline only).
+    // Mappings relearned by the scan exist only in memory; without a
+    // checkpoint, later journal records' coverage would claim those
+    // blocks and a second crash would lose them. The snapshot delta
+    // captures exactly the replay+scan mutations (their groups are
+    // the only dirty ones on a freshly restored table) and resets the
+    // journal and the blocks-since-snapshot list. The legacy pipeline
+    // keeps its historical behavior: no checkpoint, full rescan next
+    // time.
+    if (journalingEnabled())
+        persistMappingInternal();
+
+    rec.recovery_time = channels_.latestFree() > t0
+                            ? channels_.latestFree() - t0
                             : 0;
     updateDramSplit();
     return rec;

@@ -24,6 +24,7 @@
 #include "ssd/block_manager.hh"
 #include "ssd/config.hh"
 #include "ssd/data_cache.hh"
+#include "ssd/journal.hh"
 #include "ssd/write_buffer.hh"
 #include "util/common.hh"
 #include "util/stats.hh"
@@ -99,7 +100,37 @@ struct RecoveryStats
     uint64_t scanned_blocks = 0;
     uint64_t scanned_pages = 0;
     uint64_t relearned_mappings = 0;
+    /** Delta records applied on top of the full snapshot. */
+    uint64_t applied_deltas = 0;
+    /** Journal records replayed (learn batches + trims). */
+    uint64_t replayed_journal_records = 0;
+    /** Journal bytes that validated and replayed (torn tail excluded). */
+    uint64_t replayed_journal_bytes = 0;
     Tick recovery_time = 0;
+};
+
+/**
+ * Crash-injection sites (the crash-point fuzzer's hooks). A site is a
+ * point in the device's background machinery where power loss leaves
+ * observably different durable state; `Any` matches every site except
+ * the torn-append one (which must be requested explicitly because it
+ * mutates the journal tail on its way down).
+ */
+enum class CrashSite : uint8_t
+{
+    FlushAfterProgram,    ///< Flush batch programmed, not yet journaled.
+    FlushAfterJournal,    ///< Flush batch programmed and journaled.
+    GcAfterProgram,       ///< GC survivors rewritten, not yet journaled.
+    GcAfterErase,         ///< GC pass complete (victims erased).
+    SnapshotBeforeCommit, ///< Snapshot built but not committed.
+    JournalTornAppend,    ///< Power loss mid-append: torn final record.
+    Any,
+};
+
+/** Thrown by an armed crash point; callers recover via crashAndRecover. */
+struct CrashException
+{
+    CrashSite site = CrashSite::Any;
 };
 
 /** The simulated device. */
@@ -164,10 +195,64 @@ class Ssd : public FtlOps
 
     /**
      * Simulate a crash: volatile state (mapping table, caches) is
-     * lost and rebuilt from the last persisted snapshot plus an OOB
-     * scan of blocks allocated since (§3.8).
+     * lost and rebuilt from the last persisted snapshot, its delta
+     * chain, and the learn journal, then an OOB scan of only the
+     * blocks the journal does not cover (§3.8). With journaling off
+     * (journal_threshold_bytes == 0) every block allocated since the
+     * snapshot is rescanned -- the historical naive model. The write
+     * buffer is battery-backed: power loss flushes it first.
      */
     RecoveryStats crashAndRecover(Tick now);
+
+    /**
+     * Arm a crash: the @a countdown -th future hit of @a site (1 =
+     * next hit) throws CrashException instead of completing. Armed
+     * state is one-shot and disarmed by crashAndRecover.
+     * @a torn_keep_pct applies to JournalTornAppend: percentage of
+     * the final record's bytes that survive the power loss.
+     */
+    void
+    armCrash(CrashSite site, uint64_t countdown, uint32_t torn_keep_pct = 50)
+    {
+        crash_armed_ = true;
+        crash_site_ = site;
+        crash_countdown_ = countdown ? countdown : 1;
+        torn_keep_pct_ = torn_keep_pct;
+    }
+
+    void disarmCrash() { crash_armed_ = false; }
+    bool crashArmed() const { return crash_armed_; }
+
+    /** Learn-journal bytes accumulated since the last snapshot. */
+    uint64_t journalBytes() const { return journal_.sizeBytes(); }
+    /** Learn-journal records accumulated since the last snapshot. */
+    uint64_t journalRecords() const { return journal_.records(); }
+    /** Persisted snapshot bytes: last full snapshot + delta chain. */
+    uint64_t
+    snapshotBytes() const
+    {
+        return persisted_table_.size() + persisted_delta_bytes_;
+    }
+    /** Delta records chained to the last full snapshot. */
+    uint64_t deltaChainLength() const { return persisted_deltas_.size(); }
+
+    /**
+     * Recovery-time SLO: with journaling on, a recovery OOB-scans at
+     * most this many blocks -- the unjournaled tail of one in-flight
+     * flush or GC pass plus the battery-drained buffer and the GC
+     * passes that drain can trigger. O(write buffer), independent of
+     * device capacity or fullness (the journal threshold bounds the
+     * replay volume separately, by construction).
+     */
+    uint64_t
+    recoveryScanBoundBlocks() const
+    {
+        const uint64_t buffer_pages =
+            cfg_.write_buffer_bytes / cfg_.geometry.page_size;
+        const uint64_t flush_blocks =
+            ceilDiv(buffer_pages, cfg_.geometry.pages_per_block) + 1;
+        return 2 * flush_blocks + 2 * (kMaxGcVictims + 2);
+    }
 
     const SsdConfig &config() const { return cfg_; }
     const SsdStats &stats() const { return stats_; }
@@ -189,6 +274,9 @@ class Ssd : public FtlOps
     // FtlOps:
     void chargeTransRead() override;
     void chargeTransWrite() override;
+
+    /** Victim cap per GC pass (bounds per-pass migration work). */
+    static constexpr size_t kMaxGcVictims = 64;
 
   private:
     void flushBuffer(Tick now);
@@ -266,9 +354,41 @@ class Ssd : public FtlOps
     uint64_t writes_since_compaction_ = 0;
     uint64_t flushes_since_wear_check_ = 0;
 
-    /** Recovery snapshot (LeaFTL). */
+    /** Journaling on: LeaFTL with a nonzero journal threshold. */
+    bool journalingEnabled() const;
+    /** Append a learn batch to the journal (sorted copy, charged). */
+    void journalLearn(const std::vector<std::pair<Lpa, Ppa>> &run);
+    /** Append a trim record to the journal (charged). */
+    void journalTrim(Lpa lpa);
+    /** Charge journal appends to flash timing/WAF, page-granular. */
+    void chargeJournalBytes(size_t n);
+    /** Snapshot through the configured (legacy/incremental) pipeline. */
+    void persistMappingInternal();
+    /** Throw CrashException when an armed crash matches this site. */
+    void crashPoint(CrashSite site);
+    /** Armed torn-append crash fires on this append. */
+    bool tornCrashTriggered();
+
+    /** Recovery snapshot (LeaFTL): last full blob + delta chain. */
     std::vector<uint8_t> persisted_table_;
+    std::vector<std::vector<uint8_t>> persisted_deltas_;
+    uint64_t persisted_delta_bytes_ = 0;
     std::vector<uint32_t> blocks_since_persist_;
+
+    /** Learn journal (incremental durability pipeline). */
+    MappingJournal journal_;
+    uint64_t journal_seq_ = 1; ///< Next record sequence number.
+    /** Bytes appended since the last charged journal page. */
+    uint64_t journal_page_fill_ = 0;
+    uint64_t host_writes_since_snapshot_ = 0;
+
+    /** Crash injection (one-shot; see armCrash). */
+    bool crash_armed_ = false;
+    CrashSite crash_site_ = CrashSite::Any;
+    uint64_t crash_countdown_ = 0;
+    uint32_t torn_keep_pct_ = 50;
+    /** Recovery in progress: suppress journaling and crash points. */
+    bool in_recovery_ = false;
 };
 
 } // namespace leaftl

@@ -173,6 +173,79 @@ TEST(Trim, StaleMappingAfterCrashServedAsUnresolved)
     EXPECT_EQ(ssd.stats().unresolved_reads, unresolved0 + 1);
 }
 
+TEST(Trim, JournaledTrimSurvivesCrashWithoutSnapshot)
+{
+    // The journaled counterpart of StaleMappingAfterCrashServedAs-
+    // Unresolved: a trim in the journal window replays as a tombstone,
+    // so the post-recovery read is UNMAPPED — no stale mapping is ever
+    // restored, even though no snapshot ran after the trim.
+    SsdConfig cfg = smallConfig(FtlKind::LeaFTL);
+    cfg.journal_threshold_bytes = 1ull << 20; // No auto-snapshot here.
+    Ssd ssd(cfg);
+    Tick now = 0;
+    for (Lpa l = 0; l < 100; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+    ssd.persistMapping(now);
+    now += ssd.trim(10, now);
+    EXPECT_GT(ssd.journalRecords(), 0u);
+    ssd.crashAndRecover(now);
+
+    EXPECT_FALSE(ssd.oraclePpa(10).has_value());
+    const uint64_t unmapped0 = ssd.stats().unmapped_reads;
+    const uint64_t unresolved0 = ssd.stats().unresolved_reads;
+    now += ssd.read(10, now);
+    EXPECT_EQ(ssd.stats().unmapped_reads, unmapped0 + 1);
+    EXPECT_EQ(ssd.stats().unresolved_reads, unresolved0);
+    ASSERT_TRUE(ssd.oraclePpa(11).has_value());
+}
+
+TEST(Trim, TrimThenRewriteInJournalWindowSurvivesCrash)
+{
+    // trim -> rewrite -> crash, all inside one journal window: replay
+    // applies the tombstone then the relearn, in order, and the
+    // rewrite wins.
+    SsdConfig cfg = smallConfig(FtlKind::LeaFTL, /*gamma=*/4);
+    cfg.journal_threshold_bytes = 1ull << 20;
+    Ssd ssd(cfg);
+    Tick now = 0;
+    for (Lpa l = 0; l < 200; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+    ssd.persistMapping(now);
+    now += ssd.trim(42, now);
+    now += ssd.write(42, now);
+    ssd.drainBuffer(now);
+    ssd.crashAndRecover(now);
+
+    const auto ppa = ssd.oraclePpa(42);
+    ASSERT_TRUE(ppa.has_value());
+    EXPECT_EQ(ssd.flash().peekLpa(*ppa), 42u);
+    now += ssd.read(42, now);
+}
+
+TEST(Trim, TrimStormTriggersAutoSnapshot)
+{
+    // A trim-only window must not grow the journal without bound: the
+    // threshold check runs on the trim path too.
+    SsdConfig cfg = smallConfig(FtlKind::LeaFTL);
+    cfg.journal_threshold_bytes = 256;
+    Ssd ssd(cfg);
+    Tick now = 0;
+    for (Lpa l = 0; l < 256; l++)
+        now += ssd.write(l, now);
+    ssd.drainBuffer(now);
+    ssd.persistMapping(now);
+    for (Lpa l = 0; l < 200; l++)
+        now += ssd.trim(l, now);
+    EXPECT_LT(ssd.journalBytes(),
+              cfg.journal_threshold_bytes + 64);
+    ssd.crashAndRecover(now);
+    for (Lpa l = 0; l < 200; l++)
+        EXPECT_FALSE(ssd.oraclePpa(l).has_value()) << l;
+    ASSERT_TRUE(ssd.oraclePpa(250).has_value());
+}
+
 TEST(Trim, GcReclaimsTrimmedSpaceWithoutMigration)
 {
     Ssd ssd(smallConfig(FtlKind::LeaFTL));
