@@ -55,9 +55,10 @@ if(NOT csv_threads4 STREQUAL csv_run)
         "=== threads 1 ===\n${csv_run}\n=== threads 4 ===\n${csv_threads4}")
 endif()
 
-# One leaftl row: header + data. The recovery group sits just before
-# the (stripped) wall_ns column: ...,recov_scanned_pages,
-# recov_journal_records,recov_applied_deltas,recovery_ms.
+# One leaftl row: header + data. The recovery group sits before the
+# device hot-path counters and the (stripped) wall_ns column:
+# ...,recov_scanned_pages,recov_journal_records,recov_applied_deltas,
+# recovery_ms,cache_hits,cache_misses,gc_pick_calls,gc_pick_scanned.
 string(STRIP "${csv_run}" body)
 string(REPLACE "\n" ";" lines "${body}")
 list(LENGTH lines n_lines)
@@ -67,15 +68,15 @@ if(NOT n_lines EQUAL 2)
 endif()
 list(GET lines 0 header)
 list(GET lines 1 row)
-if(NOT header MATCHES "recov_scanned_pages,recov_journal_records,recov_applied_deltas,recovery_ms$")
+if(NOT header MATCHES "recov_scanned_pages,recov_journal_records,recov_applied_deltas,recovery_ms,cache_hits,cache_misses,gc_pick_calls,gc_pick_scanned$")
     message(FATAL_ERROR
         "recovery columns missing from the CSV header:\n${header}")
 endif()
 string(REPLACE "," ";" cells "${row}")
 list(LENGTH cells n_cells)
-math(EXPR idx_pages "${n_cells} - 4")
-math(EXPR idx_records "${n_cells} - 3")
-math(EXPR idx_ms "${n_cells} - 1")
+math(EXPR idx_pages "${n_cells} - 8")
+math(EXPR idx_records "${n_cells} - 7")
+math(EXPR idx_ms "${n_cells} - 5")
 list(GET cells ${idx_pages} recov_pages)
 list(GET cells ${idx_records} recov_records)
 list(GET cells ${idx_ms} recov_ms)

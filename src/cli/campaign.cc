@@ -33,7 +33,7 @@ constexpr int kColThroughput = 7;
 constexpr int kColP99Read = 11;
 constexpr int kColAchievedIops = 25;
 constexpr int kColP99E2e = 28;
-constexpr int kColWallNs = 36;
+constexpr int kColWallNs = 40;
 
 std::vector<std::string>
 splitCsv(const std::string &line)

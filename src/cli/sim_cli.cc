@@ -510,8 +510,10 @@ csvHeader()
     // position). wall_ns is the host wall-clock time of the run -- the
     // only nondeterministic column, kept trailing so stripping it
     // recovers a reproducible row; the open-loop columns (mode through
-    // p99_write_e2e_us) and the recovery columns (recov_scanned_pages
-    // through recovery_ms) sit between device and wall_ns.
+    // p99_write_e2e_us), the recovery columns (recov_scanned_pages
+    // through recovery_ms), and the device hot-path counters
+    // (cache_hits through gc_pick_scanned) sit between device and
+    // wall_ns.
     return "ftl,workload,gamma,qd,requests,pages,sim_seconds,"
            "throughput_mbps,avg_lat_us,avg_read_lat_us,p50_read_lat_us,"
            "p99_read_lat_us,avg_write_lat_us,mapping_bytes,resident_bytes,"
@@ -521,6 +523,7 @@ csvHeader()
            "p95_lat_e2e_us,p99_lat_e2e_us,p999_lat_e2e_us,"
            "p99_read_e2e_us,p99_write_e2e_us,recov_scanned_pages,"
            "recov_journal_records,recov_applied_deltas,recovery_ms,"
+           "cache_hits,cache_misses,gc_pick_calls,gc_pick_scanned,"
            "wall_ns";
 }
 
@@ -559,7 +562,9 @@ csvRow(const RunResult &res, FtlKind ftl, uint32_t gamma,
         << res.recovery.replayed_journal_records << ','
         << res.recovery.applied_deltas << ','
         << fmt(static_cast<double>(res.recovery.recovery_time) / 1.0e6)
-        << ',' << res.host_wall_ns;
+        << ',' << res.cache_hits << ',' << res.cache_misses << ','
+        << res.gc_pick_calls << ',' << res.gc_pick_scanned << ','
+        << res.host_wall_ns;
     return row.str();
 }
 

@@ -8,6 +8,13 @@ namespace leaftl
 namespace
 {
 const std::vector<uint8_t> kEmptyRun;
+
+bool
+runIdLess(const std::pair<Crb::SegId, std::vector<uint8_t>> &run,
+          Crb::SegId id)
+{
+    return run.first < id;
+}
 } // namespace
 
 Crb::Crb()
@@ -15,12 +22,30 @@ Crb::Crb()
     std::fill(std::begin(owner_), std::end(owner_), kNoSeg);
 }
 
+std::vector<Crb::Run>::iterator
+Crb::findRun(SegId id)
+{
+    auto it = std::lower_bound(runs_.begin(), runs_.end(), id, runIdLess);
+    if (it != runs_.end() && it->first == id)
+        return it;
+    return runs_.end();
+}
+
+std::vector<Crb::Run>::const_iterator
+Crb::findRun(SegId id) const
+{
+    auto it = std::lower_bound(runs_.begin(), runs_.end(), id, runIdLess);
+    if (it != runs_.end() && it->first == id)
+        return it;
+    return runs_.end();
+}
+
 void
 Crb::insertRun(SegId id, const std::vector<uint8_t> &offs,
                std::vector<SegId> &emptied)
 {
     LEAFTL_ASSERT(!offs.empty(), "CRB run must be non-empty");
-    LEAFTL_ASSERT(runs_.find(id) == runs_.end(), "CRB id reused");
+    LEAFTL_ASSERT(findRun(id) == runs_.end(), "CRB id reused");
 
     for (size_t i = 1; i < offs.size(); i++)
         LEAFTL_ASSERT(offs[i] > offs[i - 1], "CRB run must be sorted");
@@ -30,7 +55,7 @@ Crb::insertRun(SegId id, const std::vector<uint8_t> &offs,
         const SegId old = owner_[off];
         if (old == kNoSeg || old == id)
             continue;
-        auto it = runs_.find(old);
+        auto it = findRun(old);
         LEAFTL_ASSERT(it != runs_.end(), "CRB owner index out of sync");
         auto &vec = it->second;
         vec.erase(std::remove(vec.begin(), vec.end(), off), vec.end());
@@ -41,7 +66,9 @@ Crb::insertRun(SegId id, const std::vector<uint8_t> &offs,
         }
     }
 
-    runs_[id] = offs;
+    runs_.insert(
+        std::lower_bound(runs_.begin(), runs_.end(), id, runIdLess),
+        Run{id, offs});
     stored_offs_ += offs.size();
     for (uint8_t off : offs)
         owner_[off] = id;
@@ -56,7 +83,7 @@ Crb::contains(SegId id, uint8_t off) const
 bool
 Crb::removeOffsets(SegId id, const std::vector<uint8_t> &offs)
 {
-    auto it = runs_.find(id);
+    auto it = findRun(id);
     if (it == runs_.end())
         return true;
     auto &vec = it->second;
@@ -77,8 +104,10 @@ Crb::removeOffsets(SegId id, const std::vector<uint8_t> &offs)
 void
 Crb::restoreRun(SegId id, const std::vector<uint8_t> &offs)
 {
-    LEAFTL_ASSERT(runs_.find(id) == runs_.end(), "CRB id reused");
-    runs_[id] = offs;
+    LEAFTL_ASSERT(findRun(id) == runs_.end(), "CRB id reused");
+    runs_.insert(
+        std::lower_bound(runs_.begin(), runs_.end(), id, runIdLess),
+        Run{id, offs});
     stored_offs_ += offs.size();
     for (uint8_t off : offs) {
         LEAFTL_ASSERT(owner_[off] == kNoSeg,
@@ -90,7 +119,7 @@ Crb::restoreRun(SegId id, const std::vector<uint8_t> &offs)
 void
 Crb::removeRun(SegId id)
 {
-    auto it = runs_.find(id);
+    auto it = findRun(id);
     if (it == runs_.end())
         return;
     for (uint8_t off : it->second) {
@@ -104,7 +133,7 @@ Crb::removeRun(SegId id)
 const std::vector<uint8_t> &
 Crb::run(SegId id) const
 {
-    auto it = runs_.find(id);
+    auto it = findRun(id);
     return it == runs_.end() ? kEmptyRun : it->second;
 }
 

@@ -136,6 +136,13 @@ struct RunResult
     double mispredict_ratio = 0.0;
     double avg_lookup_levels = 0.0;
 
+    /** Raw data-cache counters behind cache_hit_ratio (CSV columns). */
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    /** GC/wear victim-selection cost: picks made, index nodes walked. */
+    uint64_t gc_pick_calls = 0;
+    uint64_t gc_pick_scanned = 0;
+
     /** Crash/recovery cycles the replay injected (RunOptions). */
     uint64_t recoveries = 0;
     /** Accumulated recovery statistics across those cycles. */

@@ -305,6 +305,10 @@ Runner::replay(Ssd &ssd, WorkloadSource &workload, const RunOptions &opts)
     const uint64_t hits = ssd.dataCacheHits();
     const uint64_t total = hits + ssd.dataCacheMisses();
     res.cache_hit_ratio = total ? static_cast<double>(hits) / total : 0.0;
+    res.cache_hits = hits;
+    res.cache_misses = ssd.dataCacheMisses();
+    res.gc_pick_calls = ssd.blocks().gcPickCalls();
+    res.gc_pick_scanned = ssd.blocks().gcPickScanned();
     res.waf = st.waf();
     res.mispredict_ratio = st.mispredictRatio();
 

@@ -12,7 +12,12 @@ BlockManager::BlockManager(FlashArray &flash)
     : flash_(flash),
       valid_count_(flash.geometry().totalBlocks(), 0),
       pvt_(flash.geometry().totalBlocks()),
-      in_free_pool_(flash.geometry().totalBlocks(), true)
+      in_free_pool_(flash.geometry().totalBlocks(), true),
+      bucket_head_(flash.geometry().pages_per_block + 1, kNilBlock),
+      gc_prev_(flash.geometry().totalBlocks(), kNilBlock),
+      gc_next_(flash.geometry().totalBlocks(), kNilBlock),
+      in_victim_index_(flash.geometry().totalBlocks(), 0),
+      exclude_stamp_(flash.geometry().totalBlocks(), 0)
 {
     const Geometry &geom = flash.geometry();
     std::vector<uint32_t> order;
@@ -55,6 +60,10 @@ BlockManager::releaseBlock(uint32_t block)
         pvt_[block].reset();
         resident_pvt_--;
     }
+    if (in_victim_index_[block]) {
+        bucketUnlink(block, valid_count_[block]);
+        in_victim_index_[block] = 0;
+    }
     free_pool_.push_back(block);
     in_free_pool_[block] = true;
 }
@@ -71,6 +80,28 @@ BlockManager::materializePvt(uint32_t block)
 }
 
 void
+BlockManager::bucketUnlink(uint32_t block, uint32_t count)
+{
+    if (gc_prev_[block] != kNilBlock)
+        gc_next_[gc_prev_[block]] = gc_next_[block];
+    else
+        bucket_head_[count] = gc_next_[block];
+    if (gc_next_[block] != kNilBlock)
+        gc_prev_[gc_next_[block]] = gc_prev_[block];
+    gc_prev_[block] = gc_next_[block] = kNilBlock;
+}
+
+void
+BlockManager::bucketLinkFront(uint32_t block, uint32_t count)
+{
+    gc_prev_[block] = kNilBlock;
+    gc_next_[block] = bucket_head_[count];
+    if (bucket_head_[count] != kNilBlock)
+        gc_prev_[bucket_head_[count]] = block;
+    bucket_head_[count] = block;
+}
+
+void
 BlockManager::markValid(Ppa ppa)
 {
     const uint32_t block = flash_.geometry().blockOf(ppa);
@@ -78,7 +109,16 @@ BlockManager::markValid(Ppa ppa)
     Bitmap &pvt = materializePvt(block);
     LEAFTL_ASSERT(!pvt.test(page), "page already valid");
     pvt.set(page);
-    valid_count_[block]++;
+    const uint32_t count = ++valid_count_[block];
+    if (!in_victim_index_[block]) {
+        // First valid page since allocation: the block becomes a GC
+        // candidate and enters the index.
+        in_victim_index_[block] = 1;
+        bucketLinkFront(block, count);
+    } else {
+        bucketUnlink(block, count - 1);
+        bucketLinkFront(block, count);
+    }
 }
 
 void
@@ -90,7 +130,9 @@ BlockManager::invalidate(Ppa ppa)
                   "invalidating non-valid page");
     pvt_[block]->clear(page);
     LEAFTL_ASSERT(valid_count_[block] > 0, "BVC underflow");
-    valid_count_[block]--;
+    const uint32_t count = --valid_count_[block];
+    bucketUnlink(block, count + 1);
+    bucketLinkFront(block, count);
 }
 
 bool
@@ -110,46 +152,61 @@ BlockManager::validCount(uint32_t block) const
 std::optional<uint32_t>
 BlockManager::pickGcVictim(const std::vector<uint32_t> &exclude) const
 {
-    uint32_t best = 0;
-    uint32_t best_count = std::numeric_limits<uint32_t>::max();
-    bool found = false;
-    for (uint32_t b = 0; b < valid_count_.size(); b++) {
-        if (in_free_pool_[b] || flash_.blockState(b) == BlockState::Free)
-            continue;
-        if (std::find(exclude.begin(), exclude.end(), b) != exclude.end())
-            continue;
-        if (valid_count_[b] < best_count) {
-            best = b;
-            best_count = valid_count_[b];
-            found = true;
+    gc_pick_calls_++;
+    exclude_gen_++;
+    for (uint32_t b : exclude)
+        exclude_stamp_[b] = exclude_gen_;
+
+    // Buckets ascend by valid count, so the first one holding a
+    // passing block yields the greedy minimum; the in-bucket walk
+    // keeps the old full scan's lowest-index tie-break.
+    for (uint32_t c = 0; c < bucket_head_.size(); c++) {
+        uint32_t best = kNilBlock;
+        for (uint32_t b = bucket_head_[c]; b != kNilBlock;
+             b = gc_next_[b]) {
+            gc_pick_scanned_++;
+            if (exclude_stamp_[b] == exclude_gen_)
+                continue;
+            // Re-check candidacy: an indexed block can sit erased but
+            // not yet released (state Free), matching the old scan's
+            // filter.
+            if (in_free_pool_[b] ||
+                flash_.blockState(b) == BlockState::Free)
+                continue;
+            if (b < best)
+                best = b;
         }
+        if (best != kNilBlock)
+            return best;
     }
-    if (!found)
-        return std::nullopt;
-    return best;
+    return std::nullopt;
 }
 
 std::optional<uint32_t>
 BlockManager::pickWearVictim(uint32_t threshold) const
 {
-    if (eraseSpread() <= threshold)
+    if (flash_.eraseSpread() <= threshold)
         return std::nullopt;
-    // The coldest data: the full block with the lowest erase count.
-    uint32_t best = 0;
-    uint32_t best_erase = std::numeric_limits<uint32_t>::max();
-    bool found = false;
-    for (uint32_t b = 0; b < valid_count_.size(); b++) {
-        if (in_free_pool_[b] || flash_.blockState(b) != BlockState::Full)
-            continue;
-        if (flash_.eraseCount(b) < best_erase) {
-            best = b;
-            best_erase = flash_.eraseCount(b);
-            found = true;
+    // The coldest data: the full block with the lowest erase count,
+    // served from the flash array's per-erase-count buckets from the
+    // coldest bucket upward (lowest index wins inside a bucket, like
+    // the old ascending scan).
+    for (uint32_t c = flash_.minEraseCount(); c <= flash_.maxEraseCount();
+         c++) {
+        uint32_t best = kNilBlock;
+        for (uint32_t b = flash_.eraseBucketHead(c);
+             b != FlashArray::kNilBlock; b = flash_.eraseBucketNext(b)) {
+            gc_pick_scanned_++;
+            if (in_free_pool_[b] ||
+                flash_.blockState(b) != BlockState::Full)
+                continue;
+            if (b < best)
+                best = b;
         }
+        if (best != kNilBlock)
+            return best;
     }
-    if (!found)
-        return std::nullopt;
-    return best;
+    return std::nullopt;
 }
 
 double
@@ -163,15 +220,22 @@ std::vector<std::pair<Lpa, Ppa>>
 BlockManager::validPages(uint32_t block) const
 {
     std::vector<std::pair<Lpa, Ppa>> pages;
+    validPages(block, pages);
+    return pages;
+}
+
+void
+BlockManager::validPages(uint32_t block,
+                         std::vector<std::pair<Lpa, Ppa>> &out) const
+{
     if (!pvt_[block])
-        return pages; // Never programmed since erase: nothing valid.
+        return; // Never programmed since erase: nothing valid.
     const Geometry &geom = flash_.geometry();
     const Ppa first = geom.firstPpa(block);
     for (uint32_t i = 0; i < geom.pages_per_block; i++) {
         if (pvt_[block]->test(i))
-            pages.emplace_back(flash_.peekLpa(first + i), first + i);
+            out.emplace_back(flash_.peekLpa(first + i), first + i);
     }
-    return pages;
 }
 
 uint64_t
@@ -181,18 +245,6 @@ BlockManager::pvtResidentBytes() const
         sizeof(Bitmap) +
         ceilDiv(flash_.geometry().pages_per_block, 64) * sizeof(uint64_t);
     return pvt_.size() * sizeof(pvt_[0]) + resident_pvt_ * per_bitmap;
-}
-
-uint32_t
-BlockManager::eraseSpread() const
-{
-    uint32_t lo = std::numeric_limits<uint32_t>::max();
-    uint32_t hi = 0;
-    for (uint32_t b = 0; b < valid_count_.size(); b++) {
-        lo = std::min(lo, flash_.eraseCount(b));
-        hi = std::max(hi, flash_.eraseCount(b));
-    }
-    return hi - lo;
 }
 
 } // namespace leaftl

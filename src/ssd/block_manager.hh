@@ -3,6 +3,16 @@
  * Flash block management: the free-block pool, the Block Validity
  * Counter (BVC) and Page Validity Table (PVT) of Fig. 3, greedy GC
  * victim selection (§3.6), and wear-leveling bookkeeping.
+ *
+ * Victim selection is served from an incrementally maintained index:
+ * every programmed block sits in a valid-count bucket (an intrusive
+ * doubly-linked list over per-block u32 links), updated on
+ * markValid/invalidate and dropped at releaseBlock. `pickGcVictim`
+ * therefore walks buckets from emptiest upward instead of scanning
+ * every block on the device, while preserving the old scan's
+ * lowest-index-among-min tie-break exactly. Wear-leveling picks come
+ * from FlashArray's analogous per-erase-count buckets, and
+ * `eraseSpread` is O(1) off its incremental min/max.
  */
 
 #pragma once
@@ -79,8 +89,16 @@ class BlockManager
     /** Valid LPAs of a block in PPA order (GC migration source). */
     std::vector<std::pair<Lpa, Ppa>> validPages(uint32_t block) const;
 
+    /**
+     * Scratch-buffer overload: append the block's valid (LPA, PPA)
+     * pairs to @a out. The GC migrate loop reuses one buffer across
+     * victims, avoiding a vector allocation per reclaimed block.
+     */
+    void validPages(uint32_t block,
+                    std::vector<std::pair<Lpa, Ppa>> &out) const;
+
     /** Erase-count spread across all blocks (wear-leveling metric). */
-    uint32_t eraseSpread() const;
+    uint32_t eraseSpread() const { return flash_.eraseSpread(); }
 
     /** Blocks whose PVT bitmap is currently materialized. */
     size_t residentPvtBlocks() const { return resident_pvt_; }
@@ -91,9 +109,18 @@ class BlockManager
      */
     uint64_t pvtResidentBytes() const;
 
+    /** GC victim-selection cost counters (CSV-exported). */
+    uint64_t gcPickCalls() const { return gc_pick_calls_; }
+    uint64_t gcPickScanned() const { return gc_pick_scanned_; }
+
   private:
+    static constexpr uint32_t kNilBlock = 0xFFFFFFFFu;
+
     /** The block's bitmap, allocated (all-invalid) on first use. */
     Bitmap &materializePvt(uint32_t block);
+
+    void bucketUnlink(uint32_t block, uint32_t count);
+    void bucketLinkFront(uint32_t block, uint32_t count);
 
     FlashArray &flash_;
     std::deque<uint32_t> free_pool_;
@@ -102,6 +129,27 @@ class BlockManager
     std::vector<std::unique_ptr<Bitmap>> pvt_;
     std::vector<bool> in_free_pool_;
     size_t resident_pvt_ = 0;
+
+    /**
+     * GC victim index: bucket_head_[c] chains (via gc_prev_/gc_next_)
+     * the indexed blocks whose BVC is c. A block joins on its first
+     * markValid after allocation and leaves at releaseBlock, so index
+     * membership == "programmed since last release" and the pick-time
+     * in_free_pool_/blockState re-check below matches the old
+     * full-scan candidate set exactly.
+     */
+    std::vector<uint32_t> bucket_head_; ///< [0 .. pages_per_block].
+    std::vector<uint32_t> gc_prev_;
+    std::vector<uint32_t> gc_next_;
+    std::vector<uint8_t> in_victim_index_;
+
+    /** Generation-stamped exclude marks: pickGcVictim bumps the
+     *  generation instead of clearing a per-block array per call. */
+    mutable std::vector<uint64_t> exclude_stamp_;
+    mutable uint64_t exclude_gen_ = 0;
+
+    mutable uint64_t gc_pick_calls_ = 0;
+    mutable uint64_t gc_pick_scanned_ = 0;
 };
 
 } // namespace leaftl

@@ -10,14 +10,16 @@ DataCache::DataCache(uint64_t capacity_pages) : capacity_(capacity_pages)
 bool
 DataCache::lookup(Lpa lpa)
 {
-    auto it = map_.find(lpa);
-    if (it == map_.end()) {
-        misses_++;
+    // A disabled cache can never hit; probing it would only pollute
+    // the miss counter (and burn a hash probe per host read).
+    if (capacity_ == 0)
         return false;
+    if (lru_.touch(lpa)) {
+        hits_++;
+        return true;
     }
-    lru_.splice(lru_.begin(), lru_, it->second);
-    hits_++;
-    return true;
+    misses_++;
+    return false;
 }
 
 void
@@ -25,24 +27,15 @@ DataCache::insert(Lpa lpa)
 {
     if (capacity_ == 0)
         return;
-    auto it = map_.find(lpa);
-    if (it != map_.end()) {
-        lru_.splice(lru_.begin(), lru_, it->second);
-        return;
-    }
-    lru_.push_front(lpa);
-    map_[lpa] = lru_.begin();
+    if (!lru_.insert(lpa))
+        return; // Present: FlatLru already promoted it to MRU.
     evictToCapacity();
 }
 
 void
 DataCache::invalidate(Lpa lpa)
 {
-    auto it = map_.find(lpa);
-    if (it == map_.end())
-        return;
-    lru_.erase(it->second);
-    map_.erase(it);
+    lru_.erase(lpa);
 }
 
 void
@@ -55,10 +48,8 @@ DataCache::setCapacity(uint64_t capacity_pages)
 void
 DataCache::evictToCapacity()
 {
-    while (map_.size() > capacity_) {
-        map_.erase(lru_.back());
-        lru_.pop_back();
-    }
+    while (lru_.size() > capacity_)
+        lru_.popLru();
 }
 
 } // namespace leaftl

@@ -149,7 +149,10 @@ Ssd::read(Lpa lpa, Tick now, const RawLookup *hint)
         stats_.read_latency.add(static_cast<double>(lat));
         return lat;
     }
-    if (cache_.lookup(lpa)) {
+    // Skip the probe entirely while the cache is disabled (capacity
+    // 0): it cannot hit, and mapping-first FTLs would otherwise pay a
+    // hash lookup (and a spurious miss count) per host read.
+    if (cache_.capacity() != 0 && cache_.lookup(lpa)) {
         const Tick lat = cur_time_ - now;
         stats_.read_latency.add(static_cast<double>(lat));
         return lat;
@@ -512,18 +515,24 @@ Ssd::doGcPass(Tick now)
 
     // Read every survivor, then rewrite them sorted by LPA so the
     // relearned mapping is as compressible as a host flush (§3.6).
-    std::vector<std::pair<Lpa, Ppa>> pages;
+    // Both staging vectors are member scratch: GC passes recur all
+    // run long, and per-pass allocations add up.
+    std::vector<std::pair<Lpa, Ppa>> &pages = gc_pages_scratch_;
+    pages.clear();
     for (uint32_t victim : victims) {
-        for (const auto &[lpa, ppa] : blocks_.validPages(victim)) {
+        const size_t first = pages.size();
+        blocks_.validPages(victim, pages);
+        for (size_t i = first; i < pages.size(); i++) {
+            const Ppa ppa = pages[i].second;
             channels_.occupy(flash_.geometry().channelOf(ppa), now,
                              cfg_.latency.flash_read);
             flash_.readPage(ppa);
             stats_.gc_reads++;
-            pages.emplace_back(lpa, ppa);
         }
     }
     std::sort(pages.begin(), pages.end());
-    std::vector<Lpa> lpas;
+    std::vector<Lpa> &lpas = gc_lpas_scratch_;
+    lpas.clear();
     lpas.reserve(pages.size());
     for (const auto &[lpa, ppa] : pages) {
         lpas.push_back(lpa);
@@ -552,7 +561,9 @@ Ssd::doGcPass(Tick now)
 void
 Ssd::migrateBlock(uint32_t victim, Tick now, bool wear)
 {
-    auto pages = blocks_.validPages(victim);
+    std::vector<std::pair<Lpa, Ppa>> &pages = gc_pages_scratch_;
+    pages.clear();
+    blocks_.validPages(victim, pages);
 
     // Read the survivors.
     for (const auto &[lpa, ppa] : pages) {
@@ -568,7 +579,8 @@ Ssd::migrateBlock(uint32_t victim, Tick now, bool wear)
     // Sort by LPA and rewrite (§3.6: GC batches are sorted and
     // relearned exactly like host flushes).
     std::sort(pages.begin(), pages.end());
-    std::vector<Lpa> lpas;
+    std::vector<Lpa> &lpas = gc_lpas_scratch_;
+    lpas.clear();
     lpas.reserve(pages.size());
     for (const auto &[lpa, ppa] : pages) {
         lpas.push_back(lpa);

@@ -345,6 +345,10 @@ class Ssd : public FtlOps
     std::vector<RawLookup> raw_scratch_;
     /** Scratch (LPA, PPA) run reused by programBatch (learn path). */
     std::vector<std::pair<Lpa, Ppa>> run_scratch_;
+    /** Scratch survivor list reused by doGcPass/migrateBlock. */
+    std::vector<std::pair<Lpa, Ppa>> gc_pages_scratch_;
+    /** Scratch LPA batch reused by doGcPass/migrateBlock. */
+    std::vector<Lpa> gc_lpas_scratch_;
 
     /** Time cursor for the operation currently being charged. */
     Tick cur_time_ = 0;

@@ -8,13 +8,13 @@ namespace leaftl
 WriteBuffer::WriteBuffer(uint32_t capacity_pages) : capacity_(capacity_pages)
 {
     LEAFTL_ASSERT(capacity_pages > 0, "write buffer needs capacity");
-    set_.reserve(capacity_pages * 2);
+    order_.reserve(capacity_pages);
 }
 
 bool
 WriteBuffer::add(Lpa lpa)
 {
-    const bool fresh = set_.insert(lpa).second;
+    const bool fresh = set_.insert(lpa);
     if (fresh)
         order_.push_back(lpa);
     return fresh;
@@ -25,13 +25,15 @@ WriteBuffer::remove(Lpa lpa)
 {
     // The arrival-order list keeps a stale entry; drainFifo filters
     // against the set, so removal here is O(1).
-    return set_.erase(lpa) != 0;
+    return set_.erase(lpa);
 }
 
 std::vector<Lpa>
 WriteBuffer::drainSorted()
 {
-    std::vector<Lpa> lpas(set_.begin(), set_.end());
+    std::vector<Lpa> lpas;
+    lpas.reserve(set_.size());
+    set_.appendKeys(lpas);
     std::sort(lpas.begin(), lpas.end());
     set_.clear();
     order_.clear();
@@ -41,13 +43,15 @@ WriteBuffer::drainSorted()
 std::vector<Lpa>
 WriteBuffer::drainFifo()
 {
-    // Filter the arrival list against the live set: removed (trimmed)
-    // LPAs and re-added duplicates drop out here.
+    // Walk the arrival list, taking each LPA the first time it is
+    // still live and erasing it as taken: trimmed LPAs fail the erase
+    // and drop out, re-added duplicates were already consumed at
+    // their first-arrival position. Same output as the old
+    // set-membership + dedup-set filter, without the temporary set.
     std::vector<Lpa> lpas;
     lpas.reserve(set_.size());
-    std::unordered_set<Lpa> seen;
     for (Lpa lpa : order_) {
-        if (set_.count(lpa) && seen.insert(lpa).second)
+        if (set_.erase(lpa))
             lpas.push_back(lpa);
     }
     order_.clear();

@@ -8,15 +8,20 @@
  * sorted in ascending order and flushed block-by-block to consecutive
  * PPAs, which is exactly what lets LeaFTL learn long monotonic
  * segments (Fig. 7).
+ *
+ * The membership set is a `FlatLru` (open addressing, no node
+ * allocations): `add` is a single insert-or-find probe instead of the
+ * old contains+insert double hash, and `drainFifo` no longer builds a
+ * temporary dedup set.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "util/common.hh"
+#include "util/flat_lru.hh"
 
 namespace leaftl
 {
@@ -35,7 +40,7 @@ class WriteBuffer
     bool add(Lpa lpa);
 
     /** Is this LPA currently buffered (read hit)? */
-    bool contains(Lpa lpa) const { return set_.count(lpa) != 0; }
+    bool contains(Lpa lpa) const { return set_.contains(lpa); }
 
     /** Drop a buffered LPA (TRIM). @return true if it was buffered. */
     bool remove(Lpa lpa);
@@ -59,7 +64,7 @@ class WriteBuffer
 
   private:
     uint32_t capacity_;
-    std::unordered_set<Lpa> set_;
+    FlatLru set_;
     std::vector<Lpa> order_; ///< Arrival order of distinct LPAs.
 };
 

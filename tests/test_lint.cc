@@ -55,7 +55,8 @@ TEST(LintCatalog, AtLeastTenDistinctRules)
     for (const RuleInfo &r : catalog) {
         names.push_back(r.name);
         EXPECT_TRUE(r.category == "determinism" ||
-                    r.category == "concurrency" || r.category == "hygiene")
+                    r.category == "concurrency" ||
+                    r.category == "hygiene" || r.category == "perf")
             << r.name << " has category " << r.category;
         EXPECT_FALSE(r.description.empty()) << r.name;
     }
@@ -365,6 +366,53 @@ TEST(LintIostreamCore, ReportingLayersMayStream)
                       "iostream-core"));
     EXPECT_FALSE(hits("src/learned/plr.cc", "#include <ostream>\n",
                       "iostream-core"));
+}
+
+// ---------------------------------------- hot-path-node-containers
+
+TEST(LintNodeContainers, FlagsNodeContainersInDeviceAndLearned)
+{
+    EXPECT_TRUE(hits("src/ssd/foo.hh",
+                     "#pragma once\nstd::list<Lpa> lru_;\n",
+                     "hot-path-node-containers"));
+    EXPECT_TRUE(hits("src/ssd/foo.cc",
+                     "std::unordered_map<Lpa, int> map_;\n",
+                     "hot-path-node-containers"));
+    EXPECT_TRUE(hits("src/learned/foo.hh",
+                     "#pragma once\nstd::map<SegId, Run> runs_;\n",
+                     "hot-path-node-containers"));
+    EXPECT_TRUE(hits("src/learned/foo.cc",
+                     "std::unordered_multiset<uint32_t> s;\n",
+                     "hot-path-node-containers"));
+}
+
+TEST(LintNodeContainers, FlatAndOutOfScopeContainersClean)
+{
+    // Flat/contiguous containers are the point of the rule.
+    EXPECT_FALSE(hits("src/ssd/foo.hh",
+                      "#pragma once\nstd::vector<Lpa> v_;\nstd::deque<uint32_t> q_;\n",
+                      "hot-path-node-containers"));
+    // A bare identifier (member named `map`, comment text) is not a
+    // declaration of the std type.
+    EXPECT_FALSE(hits("src/ssd/foo.cc", "auto x = group.map(fn);\n",
+                      "hot-path-node-containers"));
+    // Other layers (FTL baselines, CLIs, bench references) may keep
+    // node containers.
+    EXPECT_FALSE(hits("src/ftl/dftl.hh",
+                      "#pragma once\nstd::list<Lpa> lru_;\n",
+                      "hot-path-node-containers"));
+    EXPECT_FALSE(hits("bench/device_reference.hh",
+                      "#pragma once\nstd::list<Lpa> lru_;\n",
+                      "hot-path-node-containers"));
+}
+
+TEST(LintNodeContainers, InlineAllowSuppresses)
+{
+    EXPECT_FALSE(hits("src/ssd/foo.hh",
+                      "#pragma once\n"
+                      "// leaftl-lint: allow(hot-path-node-containers)\n"
+                      "std::list<Lpa> cold_;\n",
+                      "hot-path-node-containers"));
 }
 
 // ----------------------------------------------- assert-side-effect

@@ -829,6 +829,47 @@ ruleAssertSideEffect(const PathInfo &p, const ScannedFile &f, Findings &out)
     }
 }
 
+/**
+ * perf/hot-path-node-containers: the device hot-path overhaul replaced
+ * every per-IO node-based container in src/ssd/ (std::list LRU,
+ * unordered hash buckets) with flat structures (util/flat_lru.hh,
+ * intrusive index lists), and src/learned/ dropped its last node map
+ * (Crb's per-run std::map -> sorted vector). One allocation or
+ * pointer-chase per host IO is exactly the regression class this rule
+ * pins shut: declaring a node-based standard container in those
+ * directories needs an explicit justification (inline allow).
+ */
+void
+ruleHotPathNodeContainers(const PathInfo &p, const ScannedFile &f,
+                          Findings &out)
+{
+    if (!startsWith(p.path, "src/ssd/") &&
+        !startsWith(p.path, "src/learned/"))
+        return;
+    static const char *types[] = {
+        "list",          "map",           "multimap",
+        "multiset",      "unordered_map", "unordered_set",
+        "unordered_multimap", "unordered_multiset"};
+    for (int line = 1; line <= f.lineCount(); line++) {
+        const std::string &code = f.codeAt(line);
+        for (const char *type : types) {
+            // Only the std:: spelling: a bare `map` identifier is too
+            // common (member names, parameters) to flag reliably.
+            for (size_t pos = findIdent(code, type); pos != std::string::npos;
+                 pos = findIdent(code, type, pos + 1)) {
+                if (pos < 5 || code.compare(pos - 5, 5, "std::") != 0)
+                    continue;
+                add(out, p, line, "hot-path-node-containers",
+                    std::string("node-based container 'std::") + type +
+                        "' in the device/learned hot path; use a flat "
+                        "structure (util/flat_lru.hh, sorted vector, "
+                        "intrusive index lists)");
+                break;
+            }
+        }
+    }
+}
+
 struct Rule
 {
     RuleInfo info;
@@ -863,6 +904,10 @@ rules()
           "no std::function in hot-path headers (src/learned/*.hh, "
           "src/sim/shard_runner.hh)"},
          ruleHotPathStdFunction},
+        {{"hot-path-node-containers", "perf",
+          "no node-based standard containers (std::list/map/unordered_*) "
+          "in src/ssd/ or src/learned/"},
+         ruleHotPathNodeContainers},
         {{"pragma-once", "hygiene", "every header uses #pragma once"},
          rulePragmaOnce},
         {{"using-namespace-header", "hygiene",
